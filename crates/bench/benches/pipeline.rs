@@ -1,0 +1,32 @@
+//! Macro-benchmark of the real threaded fabric (E8): wall-clock
+//! throughput of an in-process cluster with real signatures and real
+//! execution — the fabric-level analogue of Figure 13's batching sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdb_consensus::config::ProtocolKind;
+use resilientdb::DeploymentBuilder;
+use std::time::Duration;
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric-pbft-1x4");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(12));
+    for batch in [10usize, 50] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+                    .batch_size(batch)
+                    .clients(4)
+                    .records(1_000)
+                    .duration(Duration::from_millis(300))
+                    .run();
+                report.completed_txns
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

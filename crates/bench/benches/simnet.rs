@@ -1,0 +1,33 @@
+//! Macro-benchmark: how fast the discrete-event simulator itself runs
+//! (host time per simulated deployment), usable for regression tracking
+//! of the whole consensus + network stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdb_consensus::config::ProtocolKind;
+use rdb_simnet::Scenario;
+
+fn tiny(kind: ProtocolKind) -> Scenario {
+    let mut s = Scenario::paper(kind, 2, 4).quick();
+    s.logical_clients = 2_000;
+    s
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate-2x4");
+    g.sample_size(10);
+    for kind in [
+        ProtocolKind::GeoBft,
+        ProtocolKind::Pbft,
+        ProtocolKind::HotStuff,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| tiny(*kind).run().completed_batches),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Result alias using [`RdbError`].
+pub type RdbResult<T> = Result<T, RdbError>;
+
+/// Errors surfaced by the ResilientDB reproduction crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdbError {
+    /// Invalid deployment or protocol configuration.
+    Config(String),
+    /// A cryptographic check failed (bad signature, MAC, or digest).
+    CryptoVerification(String),
+    /// A message failed validation (malformed, wrong epoch, replayed...).
+    InvalidMessage(String),
+    /// Ledger integrity violation (hash chain broken, certificate invalid).
+    LedgerCorruption(String),
+    /// The requested item does not exist.
+    NotFound(String),
+    /// An operation was attempted in a state that does not allow it.
+    InvalidState(String),
+    /// I/O-ish failure in the fabric runtime (channel closed, thread gone).
+    Runtime(String),
+}
+
+impl fmt::Display for RdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdbError::Config(s) => write!(f, "configuration error: {s}"),
+            RdbError::CryptoVerification(s) => write!(f, "crypto verification failed: {s}"),
+            RdbError::InvalidMessage(s) => write!(f, "invalid message: {s}"),
+            RdbError::LedgerCorruption(s) => write!(f, "ledger corruption: {s}"),
+            RdbError::NotFound(s) => write!(f, "not found: {s}"),
+            RdbError::InvalidState(s) => write!(f, "invalid state: {s}"),
+            RdbError::Runtime(s) => write!(f, "runtime error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RdbError::Config("bad n".into());
+        assert_eq!(e.to_string(), "configuration error: bad n");
+        let e = RdbError::LedgerCorruption("block 3".into());
+        assert!(e.to_string().contains("ledger corruption"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RdbError::NotFound("x".into()));
+    }
+}

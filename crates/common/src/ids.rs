@@ -1,0 +1,215 @@
+//! Identifiers for the participants of a geo-scale deployment.
+//!
+//! The paper models a system `S = {C_1, ..., C_z}` of `z` clusters, each
+//! holding `n` replicas, plus clients that are each assigned to a single
+//! (local) cluster. We mirror that structure: a [`ReplicaId`] is a
+//! `(cluster, index)` pair and a [`ClientId`] is a `(cluster, index)` pair,
+//! with [`NodeId`] as the tagged union used for message addressing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster (one geographic region's replica group).
+///
+/// Clusters are numbered `0..z`. The paper writes `C_1..C_z`; we use
+/// zero-based indices internally and render them one-based in `Display` to
+/// match the paper's notation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClusterId(pub u16);
+
+impl ClusterId {
+    /// Zero-based position of this cluster, usable as a vector index.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0 + 1)
+    }
+}
+
+/// Identifier of a replica: its cluster plus its index within the cluster.
+///
+/// Replica indices run `0..n` within each cluster. The paper assigns each
+/// replica a unique identifier `1 <= id(R) <= n` within its cluster; the
+/// remote view-change protocol relies on *same-index* pairing between
+/// clusters ("send to the replica Q in C1 with id(R) = id(Q)"), which maps
+/// to equal `index` here.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ReplicaId {
+    /// The cluster this replica belongs to.
+    pub cluster: ClusterId,
+    /// Zero-based index within the cluster (`0..n`).
+    pub index: u16,
+}
+
+impl ReplicaId {
+    /// Construct a replica id from raw parts.
+    #[inline]
+    pub fn new(cluster: u16, index: u16) -> Self {
+        Self {
+            cluster: ClusterId(cluster),
+            index,
+        }
+    }
+
+    /// Flatten to a global index given `n` replicas per cluster; useful for
+    /// dense per-replica tables.
+    #[inline]
+    pub fn global_index(self, replicas_per_cluster: usize) -> usize {
+        self.cluster.as_usize() * replicas_per_cluster + self.index as usize
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}.{}", self.cluster.0 + 1, self.index + 1)
+    }
+}
+
+/// Identifier of a client. Every client is assigned to exactly one local
+/// cluster (`clients(C)` in the paper); replicas only answer their local
+/// clients.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId {
+    /// The cluster this client is local to.
+    pub cluster: ClusterId,
+    /// Zero-based index among the clients of that cluster.
+    pub index: u32,
+}
+
+impl ClientId {
+    /// Construct a client id from raw parts.
+    #[inline]
+    pub fn new(cluster: u16, index: u32) -> Self {
+        Self {
+            cluster: ClusterId(cluster),
+            index,
+        }
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.{}", self.cluster.0 + 1, self.index)
+    }
+}
+
+/// Any addressable participant: a replica or a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A consensus replica.
+    Replica(ReplicaId),
+    /// A client of the system.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// The cluster (region) the node lives in; used for network routing.
+    #[inline]
+    pub fn cluster(self) -> ClusterId {
+        match self {
+            NodeId::Replica(r) => r.cluster,
+            NodeId::Client(c) => c.cluster,
+        }
+    }
+
+    /// Returns the replica id if this node is a replica.
+    #[inline]
+    pub fn as_replica(self) -> Option<ReplicaId> {
+        match self {
+            NodeId::Replica(r) => Some(r),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// Returns the client id if this node is a client.
+    #[inline]
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            NodeId::Client(c) => Some(c),
+            NodeId::Replica(_) => None,
+        }
+    }
+
+    /// True when the node is a replica.
+    #[inline]
+    pub fn is_replica(self) -> bool {
+        matches!(self, NodeId::Replica(_))
+    }
+}
+
+impl From<ReplicaId> for NodeId {
+    fn from(r: ReplicaId) -> Self {
+        NodeId::Replica(r)
+    }
+}
+
+impl From<ClientId> for NodeId {
+    fn from(c: ClientId) -> Self {
+        NodeId::Client(c)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Replica(r) => write!(f, "{r}"),
+            NodeId::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(ClusterId(0).to_string(), "C1");
+        assert_eq!(ReplicaId::new(1, 2).to_string(), "R2.3");
+        assert_eq!(ClientId::new(0, 7).to_string(), "c1.7");
+    }
+
+    #[test]
+    fn global_index_is_dense_and_unique() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..4u16 {
+            for i in 0..n as u16 {
+                assert!(seen.insert(ReplicaId::new(c, i).global_index(n)));
+            }
+        }
+        assert_eq!(seen.len(), 4 * n);
+        assert_eq!(seen.iter().copied().max(), Some(4 * n - 1));
+    }
+
+    #[test]
+    fn node_id_accessors() {
+        let r: NodeId = ReplicaId::new(0, 1).into();
+        let c: NodeId = ClientId::new(2, 3).into();
+        assert!(r.is_replica());
+        assert!(!c.is_replica());
+        assert_eq!(r.cluster(), ClusterId(0));
+        assert_eq!(c.cluster(), ClusterId(2));
+        assert_eq!(r.as_replica(), Some(ReplicaId::new(0, 1)));
+        assert_eq!(r.as_client(), None);
+        assert_eq!(c.as_client(), Some(ClientId::new(2, 3)));
+    }
+
+    #[test]
+    fn ordering_groups_by_cluster_first() {
+        let a = ReplicaId::new(0, 9);
+        let b = ReplicaId::new(1, 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,110 @@
+//! The six Google Cloud regions used in the paper's evaluation (Table 1).
+//!
+//! The latency/bandwidth *values* live in `rdb-simnet::topology`; this
+//! module only names the regions and fixes the deployment order used in
+//! §4.1 of the paper ("we select regions in the order Oregon, Iowa,
+//! Montreal, Belgium, Taiwan, and Sydney").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A deployment region. `Custom` supports synthetic topologies beyond the
+/// paper's six regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Google Cloud `us-west1` (Oregon) — abbreviated `O` in Table 1.
+    Oregon,
+    /// Google Cloud `us-central1` (Iowa) — `I`.
+    Iowa,
+    /// Google Cloud `northamerica-northeast1` (Montreal) — `M`.
+    Montreal,
+    /// Google Cloud `europe-west1` (Belgium) — `B`.
+    Belgium,
+    /// Google Cloud `asia-east1` (Taiwan) — `T`.
+    Taiwan,
+    /// Google Cloud `australia-southeast1` (Sydney) — `S`.
+    Sydney,
+    /// A synthetic region for custom topologies.
+    Custom(u16),
+}
+
+impl Region {
+    /// The paper's deployment order (§4.1): experiments with `z` regions use
+    /// the first `z` entries of this list.
+    pub const PAPER_ORDER: [Region; 6] = [
+        Region::Oregon,
+        Region::Iowa,
+        Region::Montreal,
+        Region::Belgium,
+        Region::Taiwan,
+        Region::Sydney,
+    ];
+
+    /// One-letter abbreviation as used in Table 1.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Region::Oregon => "O",
+            Region::Iowa => "I",
+            Region::Montreal => "M",
+            Region::Belgium => "B",
+            Region::Taiwan => "T",
+            Region::Sydney => "S",
+            Region::Custom(_) => "X",
+        }
+    }
+
+    /// Index into the Table 1 matrices for the six paper regions.
+    pub fn table1_index(self) -> Option<usize> {
+        match self {
+            Region::Oregon => Some(0),
+            Region::Iowa => Some(1),
+            Region::Montreal => Some(2),
+            Region::Belgium => Some(3),
+            Region::Taiwan => Some(4),
+            Region::Sydney => Some(5),
+            Region::Custom(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Oregon => write!(f, "Oregon"),
+            Region::Iowa => write!(f, "Iowa"),
+            Region::Montreal => write!(f, "Montreal"),
+            Region::Belgium => write!(f, "Belgium"),
+            Region::Taiwan => write!(f, "Taiwan"),
+            Region::Sydney => write!(f, "Sydney"),
+            Region::Custom(i) => write!(f, "Custom{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_order_matches_section_4_1() {
+        let names: Vec<String> = Region::PAPER_ORDER.iter().map(|r| r.to_string()).collect();
+        assert_eq!(
+            names,
+            ["Oregon", "Iowa", "Montreal", "Belgium", "Taiwan", "Sydney"]
+        );
+    }
+
+    #[test]
+    fn table1_indices_are_dense() {
+        for (i, r) in Region::PAPER_ORDER.iter().enumerate() {
+            assert_eq!(r.table1_index(), Some(i));
+        }
+        assert_eq!(Region::Custom(3).table1_index(), None);
+    }
+
+    #[test]
+    fn abbreviations_match_table1_header() {
+        let abbrevs: Vec<&str> = Region::PAPER_ORDER.iter().map(|r| r.abbrev()).collect();
+        assert_eq!(abbrevs, ["O", "I", "M", "B", "T", "S"]);
+    }
+}

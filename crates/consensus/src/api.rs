@@ -1,0 +1,236 @@
+//! The sans-io protocol interface.
+//!
+//! Every consensus protocol in this crate (GeoBFT, PBFT, Zyzzyva, HotStuff,
+//! Steward) is written as a *state machine with no I/O*: it receives
+//! events — messages, timer expirations, client requests — and emits
+//! [`Action`]s into an [`Outbox`]. The same state-machine code is driven by
+//! two runtimes:
+//!
+//! * `rdb-simnet::Runner` — deterministic discrete-event simulation with a
+//!   modeled network and compute costs (used for tests and to regenerate
+//!   the paper's figures), and
+//! * `resilientdb::Node` — the real multi-threaded pipelined fabric
+//!   (paper Figure 9).
+
+use crate::messages::Message;
+use crate::types::Decision;
+use rdb_common::ids::{ClusterId, NodeId, ReplicaId};
+use rdb_common::time::{SimDuration, SimTime};
+
+/// Identifies a protocol timer. Setting a timer with a kind that is already
+/// armed re-arms it (the previous instance is superseded); cancelling an
+/// unarmed kind is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TimerKind {
+    /// Client-side retransmission timer for the request with this sequence
+    /// number.
+    ClientRetry {
+        /// Client-local request sequence number.
+        seq: u64,
+    },
+    /// Replica-side progress timer: pending work exists and must complete
+    /// before the timer fires, otherwise a (local) view change starts.
+    Progress,
+    /// GeoBFT: waiting for the commit certificate of `cluster` for `round`
+    /// (§2.3: "every replica R ∈ C2 sets a timer for C1 at the start of
+    /// round ρ").
+    RemoteCluster {
+        /// The cluster we expect a certificate from.
+        cluster: ClusterId,
+        /// The GeoBFT round the certificate is for.
+        round: u64,
+    },
+    /// Zyzzyva client: deadline for gathering all `n` speculative
+    /// responses before falling back to the commit phase.
+    SpecWindow {
+        /// Client-local request sequence number.
+        seq: u64,
+    },
+    /// HotStuff: deadline for proposing a no-op when this replica's slot
+    /// blocks the global execution order and it has no client batch.
+    SlotNoOp {
+        /// The blocked slot.
+        slot: u64,
+    },
+    /// Steward representative: waiting for the global proposal to make
+    /// progress.
+    GlobalProgress,
+}
+
+/// An effect requested by a protocol state machine.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Send `msg` to `to`. Sends to self are legal and are delivered by
+    /// the driver without network cost (loopback).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: Message,
+    },
+    /// Arm (or re-arm) a timer to fire `after` from now.
+    SetTimer {
+        /// Timer identity.
+        kind: TimerKind,
+        /// Delay from the current virtual time.
+        after: SimDuration,
+    },
+    /// Cancel a timer if armed.
+    CancelTimer {
+        /// Timer identity.
+        kind: TimerKind,
+    },
+    /// A replica finalized and executed a decision. Consumed by the driver
+    /// to append to the ledger and account throughput.
+    Decided(Decision),
+    /// A client completed a request (received the required matching
+    /// replies). Consumed by the driver to measure latency and, in closed
+    /// loop, to submit the next request.
+    RequestComplete {
+        /// Client-local sequence number of the completed request.
+        seq: u64,
+        /// Number of transactions in the completed batch.
+        txns: usize,
+    },
+}
+
+/// Collects the actions emitted while handling one event.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    actions: Vec<Action>,
+}
+
+impl Outbox {
+    /// Fresh, empty outbox.
+    pub fn new() -> Outbox {
+        Outbox::default()
+    }
+
+    /// Queue a unicast.
+    pub fn send(&mut self, to: impl Into<NodeId>, msg: Message) {
+        self.actions.push(Action::Send {
+            to: to.into(),
+            msg,
+        });
+    }
+
+    /// Queue the same message to every target (clones per target).
+    pub fn multicast<I, T>(&mut self, targets: I, msg: &Message)
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<NodeId>,
+    {
+        for t in targets {
+            self.actions.push(Action::Send {
+                to: t.into(),
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Arm a timer.
+    pub fn set_timer(&mut self, kind: TimerKind, after: SimDuration) {
+        self.actions.push(Action::SetTimer { kind, after });
+    }
+
+    /// Cancel a timer.
+    pub fn cancel_timer(&mut self, kind: TimerKind) {
+        self.actions.push(Action::CancelTimer { kind });
+    }
+
+    /// Report a finalized decision.
+    pub fn decided(&mut self, d: Decision) {
+        self.actions.push(Action::Decided(d));
+    }
+
+    /// Report request completion (client side).
+    pub fn request_complete(&mut self, seq: u64, txns: usize) {
+        self.actions.push(Action::RequestComplete { seq, txns });
+    }
+
+    /// Drain the accumulated actions.
+    pub fn take(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Number of queued actions (for tests).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when no actions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Peek at the queued actions (for tests).
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+}
+
+/// A replica-side protocol state machine.
+pub trait ReplicaProtocol: Send {
+    /// This replica's identity.
+    fn id(&self) -> ReplicaId;
+
+    /// Called once before any other event, at virtual time zero (or node
+    /// start). Protocols arm initial timers here.
+    fn on_start(&mut self, now: SimTime, out: &mut Outbox);
+
+    /// Handle a message from `from` (a replica or a client). Malformed or
+    /// unverifiable messages must be dropped silently, per §2.1 ("Replicas
+    /// will discard any messages that are not well-formed...").
+    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Message, out: &mut Outbox);
+
+    /// Handle a timer expiration.
+    fn on_timer(&mut self, now: SimTime, timer: TimerKind, out: &mut Outbox);
+}
+
+/// A client-side protocol state machine. Clients are closed-loop: the
+/// driver calls [`ClientProtocol::next_request`] after start and after
+/// every [`Action::RequestComplete`].
+pub trait ClientProtocol: Send {
+    /// This client's identity.
+    fn id(&self) -> rdb_common::ids::ClientId;
+
+    /// Ask the client to submit its next request. Returns `false` if the
+    /// client has exhausted its workload.
+    fn next_request(&mut self, now: SimTime, out: &mut Outbox) -> bool;
+
+    /// Handle a reply-path message.
+    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Message, out: &mut Outbox);
+
+    /// Handle a timer expiration (retransmissions, Zyzzyva fallbacks).
+    fn on_timer(&mut self, now: SimTime, timer: TimerKind, out: &mut Outbox);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Message;
+    use rdb_common::ids::ReplicaId;
+
+    #[test]
+    fn outbox_collects_and_drains() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.set_timer(TimerKind::Progress, SimDuration::from_millis(5));
+        out.cancel_timer(TimerKind::Progress);
+        assert_eq!(out.len(), 2);
+        let actions = out.take();
+        assert_eq!(actions.len(), 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multicast_clones_to_each_target() {
+        let mut out = Outbox::new();
+        let targets: Vec<ReplicaId> = (0..3).map(|i| ReplicaId::new(0, i)).collect();
+        out.multicast(targets, &Message::Noop);
+        assert_eq!(out.len(), 3);
+        for a in out.actions() {
+            assert!(matches!(a, Action::Send { .. }));
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The generic closed-loop client used by PBFT, GeoBFT, HotStuff and
+//! Steward (Zyzzyva's speculative client lives in [`crate::zyzzyva`]).
+//!
+//! A client submits one batch at a time, waits for a quorum of *matching*
+//! replies (same result digest from distinct replicas), reports completion
+//! and is then asked by the driver for its next batch — exactly the
+//! closed-loop behaviour of the paper's YCSB clients. On timeout it
+//! retransmits, broadcasting so that replicas forward to the current
+//! primary and start view-change pressure (§2.2).
+
+use crate::api::{ClientProtocol, Outbox, TimerKind};
+use crate::config::ProtocolConfig;
+use crate::crypto_ctx::CryptoCtx;
+use crate::messages::Message;
+use crate::types::{ClientBatch, SignedBatch};
+use rdb_common::ids::{ClientId, NodeId, ReplicaId};
+use rdb_common::time::{SimDuration, SimTime};
+use rdb_crypto::digest::Digest;
+use std::collections::HashMap;
+
+/// Where a client sends fresh requests and retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetPolicy {
+    /// Send to the primary of the global group (PBFT, Zyzzyva). Learned
+    /// from the `view` field of replies.
+    GlobalPrimary,
+    /// Send to the primary of the client's local cluster (GeoBFT). §2:
+    /// "GeoBFT assigns each client to a single cluster."
+    LocalPrimary,
+    /// Send to a fixed home replica chosen by client index (HotStuff's
+    /// parallel primaries).
+    HomeReplica,
+    /// Send to the local cluster representative, who forwards to the
+    /// primary cluster (Steward).
+    LocalRepresentative,
+}
+
+/// Produces the client's next batch of transactions. Implemented by the
+/// workload generator (`rdb-workload`).
+pub type BatchSource = Box<dyn FnMut(u64) -> ClientBatch + Send>;
+
+/// In-flight request state.
+struct Outstanding {
+    seq: u64,
+    signed: SignedBatch,
+    /// result digest -> replicas that reported it.
+    replies: HashMap<Digest, Vec<ReplicaId>>,
+    retries: u32,
+}
+
+/// The generic quorum client.
+pub struct QuorumClient {
+    id: ClientId,
+    cfg: ProtocolConfig,
+    crypto: CryptoCtx,
+    policy: TargetPolicy,
+    /// Matching replies needed (f+1 local for GeoBFT/Steward, F+1 global
+    /// for PBFT/HotStuff).
+    reply_quorum: usize,
+    source: BatchSource,
+    next_seq: u64,
+    view_hint: u64,
+    outstanding: Option<Outstanding>,
+    retry_timeout: SimDuration,
+}
+
+impl QuorumClient {
+    /// Create a client. `reply_quorum` is protocol-specific; see
+    /// [`crate::registry`].
+    pub fn new(
+        id: ClientId,
+        cfg: ProtocolConfig,
+        crypto: CryptoCtx,
+        policy: TargetPolicy,
+        reply_quorum: usize,
+        source: BatchSource,
+    ) -> QuorumClient {
+        let retry_timeout = cfg.client_retry;
+        QuorumClient {
+            id,
+            cfg,
+            crypto,
+            policy,
+            reply_quorum,
+            source,
+            next_seq: 0,
+            view_hint: 0,
+            outstanding: None,
+            retry_timeout,
+        }
+    }
+
+    /// The replica a fresh request goes to under the current policy.
+    fn entry_target(&self) -> ReplicaId {
+        let sys = &self.cfg.system;
+        match self.policy {
+            TargetPolicy::GlobalPrimary => {
+                let members: Vec<ReplicaId> = sys.all_replicas().collect();
+                members[(self.view_hint % members.len() as u64) as usize]
+            }
+            TargetPolicy::LocalPrimary => {
+                sys.primary_of(self.id.cluster, self.view_hint)
+            }
+            TargetPolicy::HomeReplica => {
+                let members: Vec<ReplicaId> = sys.all_replicas().collect();
+                members[(self.id.index as usize) % members.len()]
+            }
+            TargetPolicy::LocalRepresentative => ReplicaId {
+                cluster: self.id.cluster,
+                index: 0,
+            },
+        }
+    }
+
+    /// The retransmission broadcast set: local cluster for topology-aware
+    /// protocols, everyone for global ones.
+    fn retry_targets(&self) -> Vec<ReplicaId> {
+        let sys = &self.cfg.system;
+        match self.policy {
+            TargetPolicy::GlobalPrimary | TargetPolicy::HomeReplica => {
+                sys.all_replicas().collect()
+            }
+            TargetPolicy::LocalPrimary | TargetPolicy::LocalRepresentative => {
+                sys.replicas_of(self.id.cluster).collect()
+            }
+        }
+    }
+}
+
+impl ClientProtocol for QuorumClient {
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn next_request(&mut self, _now: SimTime, out: &mut Outbox) -> bool {
+        debug_assert!(self.outstanding.is_none(), "closed loop violated");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let batch = (self.source)(seq);
+        debug_assert_eq!(batch.client, self.id);
+        let digest = batch.digest();
+        let signed = SignedBatch {
+            sig: self.crypto.sign(digest.as_bytes()),
+            pubkey: self.crypto.public_key(),
+            batch,
+        };
+        self.outstanding = Some(Outstanding {
+            seq,
+            signed: signed.clone(),
+            replies: HashMap::new(),
+            retries: 0,
+        });
+        self.retry_timeout = self.cfg.client_retry;
+        out.send(self.entry_target(), Message::Request(signed));
+        out.set_timer(TimerKind::ClientRetry { seq }, self.retry_timeout);
+        true
+    }
+
+    fn on_message(&mut self, _now: SimTime, from: NodeId, msg: Message, out: &mut Outbox) {
+        let Message::Reply { data, view } = msg else {
+            return;
+        };
+        let NodeId::Replica(replica) = from else {
+            return;
+        };
+        self.view_hint = self.view_hint.max(view);
+        let Some(outst) = self.outstanding.as_mut() else {
+            return;
+        };
+        if data.batch_seq != outst.seq || data.client != self.id {
+            return;
+        }
+        let voters = outst.replies.entry(data.result_digest).or_default();
+        if voters.contains(&replica) {
+            return;
+        }
+        voters.push(replica);
+        if voters.len() >= self.reply_quorum {
+            let seq = outst.seq;
+            let txns = outst.signed.batch.len();
+            self.outstanding = None;
+            out.cancel_timer(TimerKind::ClientRetry { seq });
+            out.request_complete(seq, txns);
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, timer: TimerKind, out: &mut Outbox) {
+        let TimerKind::ClientRetry { seq } = timer else {
+            return;
+        };
+        let Some(outst) = self.outstanding.as_mut() else {
+            return;
+        };
+        if outst.seq != seq {
+            return;
+        }
+        outst.retries += 1;
+        // §2.2: a client whose request stalls broadcasts it; replicas
+        // forward to the primary, which either proposes it or gets view-
+        // changed away.
+        let msg = Message::Request(outst.signed.clone());
+        let targets = self.retry_targets();
+        out.multicast(targets, &msg);
+        self.retry_timeout = self.retry_timeout.doubled();
+        out.set_timer(TimerKind::ClientRetry { seq }, self.retry_timeout);
+    }
+}
+
+/// A trivial batch source for tests and examples: `count` write
+/// transactions round-robining over `keys` keys.
+pub fn synthetic_source(client: ClientId, count: usize, keys: u64) -> BatchSource {
+    Box::new(move |batch_seq| ClientBatch {
+        client,
+        batch_seq,
+        txns: (0..count as u64)
+            .map(|i| crate::types::Transaction {
+                client,
+                seq: batch_seq * count as u64 + i,
+                op: rdb_store::Operation::Write {
+                    key: (batch_seq * 31 + i * 7) % keys,
+                    value: rdb_store::Value::from_u64(batch_seq * 1000 + i),
+                },
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ReplyData;
+    use rdb_common::config::SystemConfig;
+    use rdb_crypto::sign::KeyStore;
+
+    fn client(policy: TargetPolicy, quorum: usize) -> QuorumClient {
+        let cfg = ProtocolConfig::new(SystemConfig::geo(2, 4).unwrap());
+        let ks = KeyStore::new(3);
+        let id = ClientId::new(1, 5);
+        let signer = ks.register(NodeId::Client(id));
+        let crypto = CryptoCtx::new(signer, ks.verifier(), true);
+        QuorumClient::new(id, cfg, crypto, policy, quorum, synthetic_source(id, 3, 100))
+    }
+
+    fn reply(replica: ReplicaId, seq: u64, digest: Digest) -> Message {
+        Message::Reply {
+            data: ReplyData {
+                client: ClientId::new(1, 5),
+                batch_seq: seq,
+                result_digest: digest,
+                txns: 3,
+            },
+            view: 0,
+        }
+    }
+
+    #[test]
+    fn submits_signed_batches_to_local_primary() {
+        let mut c = client(TargetPolicy::LocalPrimary, 2);
+        let mut out = Outbox::new();
+        assert!(c.next_request(SimTime::ZERO, &mut out));
+        let actions = out.take();
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                crate::api::Action::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends.len(), 1);
+        let (to, msg) = sends[0];
+        assert_eq!(*to, NodeId::Replica(ReplicaId::new(1, 0)));
+        let Message::Request(sb) = msg else {
+            panic!("expected request")
+        };
+        assert!(c.crypto.verify_batch(sb));
+    }
+
+    #[test]
+    fn completes_on_quorum_of_matching_replies() {
+        let mut c = client(TargetPolicy::LocalPrimary, 2);
+        let mut out = Outbox::new();
+        c.next_request(SimTime::ZERO, &mut out);
+        out.take();
+        let d = Digest::of(b"result");
+        let mut out = Outbox::new();
+        c.on_message(
+            SimTime::ZERO,
+            ReplicaId::new(1, 0).into(),
+            reply(ReplicaId::new(1, 0), 0, d),
+            &mut out,
+        );
+        assert!(out.take().iter().all(|a| !matches!(
+            a,
+            crate::api::Action::RequestComplete { .. }
+        )));
+        let mut out = Outbox::new();
+        c.on_message(
+            SimTime::ZERO,
+            ReplicaId::new(1, 1).into(),
+            reply(ReplicaId::new(1, 1), 0, d),
+            &mut out,
+        );
+        assert!(out
+            .take()
+            .iter()
+            .any(|a| matches!(a, crate::api::Action::RequestComplete { seq: 0, txns: 3 })));
+    }
+
+    #[test]
+    fn conflicting_replies_do_not_complete() {
+        let mut c = client(TargetPolicy::LocalPrimary, 2);
+        let mut out = Outbox::new();
+        c.next_request(SimTime::ZERO, &mut out);
+        out.take();
+        let mut out = Outbox::new();
+        c.on_message(
+            SimTime::ZERO,
+            ReplicaId::new(1, 0).into(),
+            reply(ReplicaId::new(1, 0), 0, Digest::of(b"a")),
+            &mut out,
+        );
+        c.on_message(
+            SimTime::ZERO,
+            ReplicaId::new(1, 1).into(),
+            reply(ReplicaId::new(1, 1), 0, Digest::of(b"b")),
+            &mut out,
+        );
+        assert!(!out
+            .take()
+            .iter()
+            .any(|a| matches!(a, crate::api::Action::RequestComplete { .. })));
+    }
+
+    #[test]
+    fn duplicate_replica_replies_count_once() {
+        let mut c = client(TargetPolicy::LocalPrimary, 2);
+        let mut out = Outbox::new();
+        c.next_request(SimTime::ZERO, &mut out);
+        out.take();
+        let d = Digest::of(b"r");
+        let mut out = Outbox::new();
+        for _ in 0..3 {
+            c.on_message(
+                SimTime::ZERO,
+                ReplicaId::new(1, 0).into(),
+                reply(ReplicaId::new(1, 0), 0, d),
+                &mut out,
+            );
+        }
+        assert!(!out
+            .take()
+            .iter()
+            .any(|a| matches!(a, crate::api::Action::RequestComplete { .. })));
+    }
+
+    #[test]
+    fn retry_broadcasts_locally_with_backoff() {
+        let mut c = client(TargetPolicy::LocalPrimary, 2);
+        let mut out = Outbox::new();
+        c.next_request(SimTime::ZERO, &mut out);
+        out.take();
+        let mut out = Outbox::new();
+        c.on_timer(SimTime::ZERO, TimerKind::ClientRetry { seq: 0 }, &mut out);
+        let actions = out.take();
+        let sends = actions
+            .iter()
+            .filter(|a| matches!(a, crate::api::Action::Send { .. }))
+            .count();
+        assert_eq!(sends, 4, "broadcast to the 4 local replicas");
+        // Back-off doubles.
+        let t1 = c.retry_timeout;
+        let mut out = Outbox::new();
+        c.on_timer(SimTime::ZERO, TimerKind::ClientRetry { seq: 0 }, &mut out);
+        assert_eq!(c.retry_timeout, t1.doubled());
+    }
+
+    #[test]
+    fn global_policy_targets_global_primary_and_retries_everywhere() {
+        let mut c = client(TargetPolicy::GlobalPrimary, 3);
+        let mut out = Outbox::new();
+        c.next_request(SimTime::ZERO, &mut out);
+        let actions = out.take();
+        let Some(crate::api::Action::Send { to, .. }) = actions
+            .iter()
+            .find(|a| matches!(a, crate::api::Action::Send { .. }))
+        else {
+            panic!()
+        };
+        assert_eq!(*to, NodeId::Replica(ReplicaId::new(0, 0)));
+        let mut out = Outbox::new();
+        c.on_timer(SimTime::ZERO, TimerKind::ClientRetry { seq: 0 }, &mut out);
+        let sends = out
+            .take()
+            .iter()
+            .filter(|a| matches!(a, crate::api::Action::Send { .. }))
+            .count();
+        assert_eq!(sends, 8, "retry broadcast hits all z*n replicas");
+    }
+
+    #[test]
+    fn home_replica_is_stable_per_client() {
+        let c = client(TargetPolicy::HomeReplica, 3);
+        let t1 = c.entry_target();
+        let t2 = c.entry_target();
+        assert_eq!(t1, t2);
+        // index 5 % 8 replicas = replica 5 => cluster 1 index 1.
+        assert_eq!(t1, ReplicaId::new(1, 1));
+    }
+
+    #[test]
+    fn stale_replies_ignored() {
+        let mut c = client(TargetPolicy::LocalPrimary, 1);
+        let mut out = Outbox::new();
+        c.next_request(SimTime::ZERO, &mut out);
+        out.take();
+        // Reply for a different (old) sequence number.
+        let mut out = Outbox::new();
+        c.on_message(
+            SimTime::ZERO,
+            ReplicaId::new(1, 0).into(),
+            reply(ReplicaId::new(1, 0), 99, Digest::of(b"x")),
+            &mut out,
+        );
+        assert!(!out
+            .take()
+            .iter()
+            .any(|a| matches!(a, crate::api::Action::RequestComplete { .. })));
+    }
+}

@@ -1,0 +1,180 @@
+//! Protocol-level configuration shared by all five protocols.
+
+use rdb_common::config::SystemConfig;
+use rdb_common::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which consensus protocol a deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The paper's contribution (§2).
+    GeoBft,
+    /// Castro & Liskov's PBFT across all `z·n` replicas.
+    Pbft,
+    /// Kotla et al.'s speculative protocol.
+    Zyzzyva,
+    /// Yin et al.'s HotStuff, as implemented in the paper (§3): parallel
+    /// primaries, no threshold signatures, no pacemaker.
+    HotStuff,
+    /// Amir et al.'s hierarchical wide-area protocol with a primary
+    /// cluster.
+    Steward,
+}
+
+impl ProtocolKind {
+    /// All protocols, in the order the paper's figures list them.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::GeoBft,
+        ProtocolKind::Pbft,
+        ProtocolKind::Zyzzyva,
+        ProtocolKind::HotStuff,
+        ProtocolKind::Steward,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::GeoBft => "GeoBFT",
+            ProtocolKind::Pbft => "Pbft",
+            ProtocolKind::Zyzzyva => "Zyzzyva",
+            ProtocolKind::HotStuff => "HotStuff",
+            ProtocolKind::Steward => "Steward",
+        }
+    }
+
+    /// Whether the protocol's consensus groups are per-cluster (GeoBFT,
+    /// Steward) rather than one global group.
+    pub fn is_topology_aware(&self) -> bool {
+        matches!(self, ProtocolKind::GeoBft | ProtocolKind::Steward)
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether replicas apply transactions to a real `KvStore` or only model
+/// the execution cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Apply every operation to the store (integration tests, fabric).
+    Real,
+    /// Skip store mutation; execution cost is still charged in virtual
+    /// time by the simulator (figure-scale simulations).
+    Modeled,
+}
+
+/// Tunables shared by every protocol implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The deployment (z clusters × n replicas, regions).
+    pub system: SystemConfig,
+    /// Transactions per client batch (the paper's "batch size", default
+    /// 100 — §4).
+    pub batch_size: usize,
+    /// Decisions between checkpoints. The paper checkpoints every 600
+    /// client transactions; with batch 100 that is every 6 decisions. We
+    /// express it in decisions directly.
+    pub checkpoint_interval: u64,
+    /// Maximum in-flight (proposed but not stably checkpointed) sequence
+    /// numbers: the PBFT high-watermark window, which also bounds
+    /// out-of-order pipelining (§2.5).
+    pub window: u64,
+    /// Real vs modeled execution.
+    pub exec_mode: ExecMode,
+    /// Replica progress timeout before starting a (local) view change.
+    pub progress_timeout: SimDuration,
+    /// GeoBFT: initial timeout waiting for a remote cluster's certificate;
+    /// doubled on each failure (exponential back-off, §2.3).
+    pub remote_timeout: SimDuration,
+    /// Client retransmission timeout.
+    pub client_retry: SimDuration,
+    /// Zyzzyva: how long a client waits for all `n` speculative responses
+    /// before falling back to the commit phase.
+    pub spec_window: SimDuration,
+    /// GeoBFT: how many replicas of each remote cluster the primary sends
+    /// certificates to. `None` means the protocol-correct `f + 1`
+    /// (Figure 5); the fanout ablation (E9) overrides it.
+    pub fanout_override: Option<usize>,
+}
+
+impl ProtocolConfig {
+    /// Defaults mirroring the paper's evaluation setup.
+    pub fn new(system: SystemConfig) -> ProtocolConfig {
+        ProtocolConfig {
+            system,
+            batch_size: 100,
+            checkpoint_interval: 6,
+            window: 48,
+            exec_mode: ExecMode::Modeled,
+            progress_timeout: SimDuration::from_millis(2_000),
+            remote_timeout: SimDuration::from_millis(1_500),
+            client_retry: SimDuration::from_millis(4_000),
+            spec_window: SimDuration::from_millis(150),
+            fanout_override: None,
+        }
+    }
+
+    /// Total replica count `N = z·n` (the group size of the single-log
+    /// protocols).
+    pub fn global_n(&self) -> usize {
+        self.system.total_replicas()
+    }
+
+    /// Failures tolerated by the single-log protocols: `F = ⌊(N-1)/3⌋`
+    /// (Remark 2.1: these protocols tolerate more total failures than
+    /// GeoBFT/Steward but are not topology-aware).
+    pub fn global_f(&self) -> usize {
+        (self.global_n() - 1) / 3
+    }
+
+    /// Strong quorum of the single-log protocols: `N - F`.
+    pub fn global_quorum(&self) -> usize {
+        self.global_n() - self.global_f()
+    }
+
+    /// GeoBFT inter-cluster sharing fanout (Figure 5: `f + 1`).
+    pub fn sharing_fanout(&self) -> usize {
+        self.fanout_override
+            .unwrap_or(self.system.weak_quorum())
+            .clamp(1, self.system.replicas_per_cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_quorums_match_remark_2_1() {
+        // n = 13, z = 7: single-log protocols tolerate 30 failures,
+        // GeoBFT/Steward tolerate f*z = 28 (Remark 2.1).
+        let cfg = ProtocolConfig::new(SystemConfig::geo(7, 13).unwrap());
+        assert_eq!(cfg.global_n(), 91);
+        assert_eq!(cfg.global_f(), 30);
+        assert_eq!(cfg.global_quorum(), 61);
+        assert_eq!(cfg.system.f() * cfg.system.z(), 28);
+    }
+
+    #[test]
+    fn default_fanout_is_f_plus_1() {
+        let cfg = ProtocolConfig::new(SystemConfig::geo(4, 7).unwrap());
+        assert_eq!(cfg.sharing_fanout(), 3); // f = 2
+        let mut ablate = cfg.clone();
+        ablate.fanout_override = Some(1);
+        assert_eq!(ablate.sharing_fanout(), 1);
+        ablate.fanout_override = Some(100);
+        assert_eq!(ablate.sharing_fanout(), 7); // clamped to n
+    }
+
+    #[test]
+    fn protocol_names_match_figures() {
+        let names: Vec<&str> = ProtocolKind::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["GeoBFT", "Pbft", "Zyzzyva", "HotStuff", "Steward"]);
+        assert!(ProtocolKind::GeoBft.is_topology_aware());
+        assert!(ProtocolKind::Steward.is_topology_aware());
+        assert!(!ProtocolKind::Pbft.is_topology_aware());
+    }
+}

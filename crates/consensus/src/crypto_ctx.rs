@@ -1,0 +1,164 @@
+//! Per-node cryptographic context handed to protocol state machines.
+//!
+//! Bundles the node's unique [`Signer`], a shared [`Verifier`], and a
+//! switch controlling whether signatures are actually checked.
+//!
+//! The switch exists because the discrete-event simulator *models* crypto
+//! compute costs in virtual time (see `rdb-simnet::compute`); re-checking
+//! every tag on the host CPU while simulating tens of thousands of
+//! decisions would only slow the simulation down without changing its
+//! outcome. Integration tests and the threaded fabric run with
+//! `check_sigs = true`, so the verification paths are genuinely exercised.
+
+use crate::types::SignedBatch;
+use rdb_crypto::sign::{PublicKey, Signature, Signer, Verifier};
+use std::sync::Arc;
+
+/// Cryptographic capabilities of one node.
+#[derive(Clone)]
+pub struct CryptoCtx {
+    signer: Arc<Signer>,
+    verifier: Verifier,
+    check_sigs: bool,
+}
+
+impl CryptoCtx {
+    /// Build a context. `check_sigs = false` turns `verify*` into
+    /// constant-`true` (modeled verification).
+    pub fn new(signer: Signer, verifier: Verifier, check_sigs: bool) -> CryptoCtx {
+        CryptoCtx {
+            signer: Arc::new(signer),
+            verifier,
+            check_sigs,
+        }
+    }
+
+    /// Whether verification is real or modeled.
+    pub fn checks_signatures(&self) -> bool {
+        self.check_sigs
+    }
+
+    /// This node's public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.signer.public_key()
+    }
+
+    /// Sign arbitrary bytes as this node. In modeled mode
+    /// (`check_sigs = false`) this returns a placeholder tag: nobody will
+    /// inspect it, and the *cost* of signing is charged in virtual time by
+    /// the simulator instead of on the host CPU.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        if !self.check_sigs {
+            return Signature::default();
+        }
+        self.signer.sign(msg)
+    }
+
+    /// Verify a signature over raw bytes.
+    pub fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+        if !self.check_sigs {
+            return true;
+        }
+        self.verifier.verify(pk, msg, sig)
+    }
+
+    /// Verify a client's signature on a batch. No-op batches are primary
+    /// products and carry no client signature (§2.5); they validate
+    /// through the surrounding commit certificate instead.
+    pub fn verify_batch(&self, sb: &SignedBatch) -> bool {
+        if sb.is_noop() {
+            return true;
+        }
+        if !self.check_sigs {
+            return true;
+        }
+        self.verifier
+            .verify(&sb.pubkey, sb.digest().as_bytes(), &sb.sig)
+    }
+
+    /// Access to the shared verifier (for certificate checks).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+}
+
+impl std::fmt::Debug for CryptoCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CryptoCtx")
+            .field("check_sigs", &self.check_sigs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClientBatch, Transaction};
+    use rdb_common::ids::{ClientId, ReplicaId};
+    use rdb_crypto::sign::KeyStore;
+    use rdb_store::Operation;
+
+    fn make_ctx(check: bool) -> (CryptoCtx, KeyStore) {
+        let ks = KeyStore::new(1);
+        let signer = ks.register(ReplicaId::new(0, 0).into());
+        (CryptoCtx::new(signer, ks.verifier(), check), ks)
+    }
+
+    fn signed_batch(ks: &KeyStore, valid: bool) -> SignedBatch {
+        let client = ClientId::new(0, 0);
+        let signer = ks.register(client.into());
+        let batch = ClientBatch {
+            client,
+            batch_seq: 0,
+            txns: vec![Transaction {
+                client,
+                seq: 0,
+                op: Operation::NoOp,
+            }],
+        };
+        let digest = batch.digest();
+        let sig = if valid {
+            signer.sign(digest.as_bytes())
+        } else {
+            signer.sign(b"wrong")
+        };
+        SignedBatch {
+            batch,
+            pubkey: signer.public_key(),
+            sig,
+        }
+    }
+
+    #[test]
+    fn real_mode_checks() {
+        let (ctx, ks) = make_ctx(true);
+        let good = signed_batch(&ks, true);
+        assert!(ctx.verify_batch(&good));
+        let sig = ctx.sign(b"hello");
+        assert!(ctx.verify(&ctx.public_key(), b"hello", &sig));
+        assert!(!ctx.verify(&ctx.public_key(), b"other", &sig));
+    }
+
+    #[test]
+    fn real_mode_rejects_bad_batch() {
+        let (ctx, ks) = make_ctx(true);
+        let bad = signed_batch(&ks, false);
+        assert!(!ctx.verify_batch(&bad));
+    }
+
+    #[test]
+    fn modeled_mode_accepts_everything() {
+        let (ctx, ks) = make_ctx(false);
+        let bad = signed_batch(&ks, false);
+        assert!(ctx.verify_batch(&bad));
+        assert!(ctx.verify(&ctx.public_key(), b"m", &Signature::default()));
+        assert!(!ctx.checks_signatures());
+    }
+
+    #[test]
+    fn noop_batches_skip_client_verification() {
+        let (ctx, _ks) = make_ctx(true);
+        let noop = SignedBatch::noop(rdb_common::ids::ClusterId(0), 3);
+        assert!(ctx.verify_batch(&noop));
+    }
+}

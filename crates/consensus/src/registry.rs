@@ -1,0 +1,151 @@
+//! Factory functions mapping a [`ProtocolKind`] to concrete replica and
+//! client state machines. Drivers (the simulator and the fabric) go
+//! through these so that deployments are protocol-agnostic.
+
+use crate::api::{ClientProtocol, ReplicaProtocol};
+use crate::clients::{BatchSource, QuorumClient, TargetPolicy};
+use crate::config::{ProtocolConfig, ProtocolKind};
+use crate::crypto_ctx::CryptoCtx;
+use crate::geobft::{GeoBftReplica, GeoFaults};
+use crate::hotstuff::HotStuffReplica;
+use crate::pbft::PbftReplica;
+use crate::steward::StewardReplica;
+use crate::zyzzyva::{ZyzzyvaClient, ZyzzyvaReplica};
+use rdb_common::ids::{ClientId, ReplicaId};
+use rdb_store::KvStore;
+
+/// Build a replica state machine for `kind`.
+pub fn build_replica(
+    kind: ProtocolKind,
+    cfg: ProtocolConfig,
+    id: ReplicaId,
+    crypto: CryptoCtx,
+    store: KvStore,
+) -> Box<dyn ReplicaProtocol> {
+    match kind {
+        ProtocolKind::GeoBft => Box::new(GeoBftReplica::new(cfg, id, crypto, store)),
+        ProtocolKind::Pbft => Box::new(PbftReplica::new(cfg, id, crypto, store)),
+        ProtocolKind::Zyzzyva => Box::new(ZyzzyvaReplica::new(cfg, id, crypto, store)),
+        ProtocolKind::HotStuff => Box::new(HotStuffReplica::new(cfg, id, crypto, store)),
+        ProtocolKind::Steward => Box::new(StewardReplica::new(cfg, id, crypto, store)),
+    }
+}
+
+/// Build a GeoBFT replica with fault injection (the other protocols model
+/// failures as crashes, which the drivers inject by dropping delivery).
+pub fn build_geobft_with_faults(
+    cfg: ProtocolConfig,
+    id: ReplicaId,
+    crypto: CryptoCtx,
+    store: KvStore,
+    faults: GeoFaults,
+) -> Box<dyn ReplicaProtocol> {
+    Box::new(GeoBftReplica::with_faults(cfg, id, crypto, store, faults))
+}
+
+/// The number of matching replies a client of `kind` needs before
+/// accepting a result.
+pub fn reply_quorum(kind: ProtocolKind, cfg: &ProtocolConfig) -> usize {
+    match kind {
+        // Local f + 1 (§2.4: at most f faulty replicas per cluster, so one
+        // of f + 1 identical local replies is from a non-faulty replica).
+        ProtocolKind::GeoBft | ProtocolKind::Steward => cfg.system.weak_quorum(),
+        // Global F + 1.
+        ProtocolKind::Pbft | ProtocolKind::HotStuff => cfg.global_f() + 1,
+        // Zyzzyva's client logic is bespoke (all n / 2F+1 paths).
+        ProtocolKind::Zyzzyva => cfg.global_n(),
+    }
+}
+
+/// Build a client state machine for `kind`.
+pub fn build_client(
+    kind: ProtocolKind,
+    cfg: ProtocolConfig,
+    id: ClientId,
+    crypto: CryptoCtx,
+    source: BatchSource,
+) -> Box<dyn ClientProtocol> {
+    let quorum = reply_quorum(kind, &cfg);
+    match kind {
+        ProtocolKind::GeoBft => Box::new(QuorumClient::new(
+            id,
+            cfg,
+            crypto,
+            TargetPolicy::LocalPrimary,
+            quorum,
+            source,
+        )),
+        ProtocolKind::Pbft => Box::new(QuorumClient::new(
+            id,
+            cfg,
+            crypto,
+            TargetPolicy::GlobalPrimary,
+            quorum,
+            source,
+        )),
+        ProtocolKind::HotStuff => Box::new(QuorumClient::new(
+            id,
+            cfg,
+            crypto,
+            TargetPolicy::HomeReplica,
+            quorum,
+            source,
+        )),
+        ProtocolKind::Steward => Box::new(QuorumClient::new(
+            id,
+            cfg,
+            crypto,
+            TargetPolicy::LocalRepresentative,
+            quorum,
+            source,
+        )),
+        ProtocolKind::Zyzzyva => Box::new(ZyzzyvaClient::new(id, cfg, crypto, source)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::synthetic_source;
+    use rdb_common::config::SystemConfig;
+    use rdb_common::ids::NodeId;
+    use rdb_crypto::sign::KeyStore;
+
+    #[test]
+    fn all_kinds_build() {
+        // Use a fresh keystore per protocol kind so replica ids can repeat.
+        let system = SystemConfig::geo(2, 4).unwrap();
+        let cfg = ProtocolConfig::new(system);
+        for (i, kind) in ProtocolKind::ALL.iter().enumerate() {
+            let ks = KeyStore::new(i as u64);
+            let rid = ReplicaId::new(1, 0);
+            let signer = ks.register(NodeId::Replica(rid));
+            let crypto = CryptoCtx::new(signer, ks.verifier(), false);
+            let r = build_replica(*kind, cfg.clone(), rid, crypto, KvStore::new());
+            assert_eq!(r.id(), rid);
+
+            let cid = ClientId::new(0, i as u32);
+            let signer = ks.register(NodeId::Client(cid));
+            let crypto = CryptoCtx::new(signer, ks.verifier(), false);
+            let c = build_client(
+                *kind,
+                cfg.clone(),
+                cid,
+                crypto,
+                synthetic_source(cid, 2, 10),
+            );
+            assert_eq!(c.id(), cid);
+        }
+    }
+
+    #[test]
+    fn reply_quorums_per_protocol() {
+        let cfg = ProtocolConfig::new(SystemConfig::geo(4, 7).unwrap());
+        // local f = 2 -> f+1 = 3; global N = 28, F = 9 -> F+1 = 10.
+        assert_eq!(reply_quorum(ProtocolKind::GeoBft, &cfg), 3);
+        assert_eq!(reply_quorum(ProtocolKind::Steward, &cfg), 3);
+        assert_eq!(reply_quorum(ProtocolKind::Pbft, &cfg), 10);
+        assert_eq!(reply_quorum(ProtocolKind::HotStuff, &cfg), 10);
+        assert_eq!(reply_quorum(ProtocolKind::Zyzzyva, &cfg), 28);
+    }
+}

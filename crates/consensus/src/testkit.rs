@@ -1,0 +1,157 @@
+//! In-crate test harness: synchronous message routing between protocol
+//! state machines, without the discrete-event simulator.
+//!
+//! Only compiled for tests. Timers are ignored (tests trigger timeouts by
+//! calling the timeout handlers directly), and messages are delivered in
+//! FIFO order, which suffices for normal-case and view-change unit tests.
+
+use crate::api::{Action, Outbox};
+use crate::certificate::CommitSig;
+use crate::config::ProtocolConfig;
+use crate::crypto_ctx::CryptoCtx;
+use crate::messages::{Message, Scope};
+use crate::pbft_core::{CoreEvent, PbftCore};
+use crate::types::{ClientBatch, SignedBatch, Transaction};
+use rdb_common::config::SystemConfig;
+use rdb_common::ids::{ClientId, NodeId, ReplicaId};
+use rdb_crypto::sign::{KeyStore, Signer};
+use rdb_store::{Operation, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// A single-cluster test fixture of `n` PBFT cores with real crypto.
+pub(crate) struct TestCluster {
+    pub scope: Scope,
+    pub ids: Vec<ReplicaId>,
+    pub cores: Vec<PbftCore>,
+    pub cryptos: Vec<CryptoCtx>,
+    pub ks: KeyStore,
+    client_signers: HashMap<ClientId, Signer>,
+}
+
+impl TestCluster {
+    /// Build an `n`-replica cluster (cluster 0) with real signature
+    /// checking.
+    pub fn new(n: usize) -> TestCluster {
+        let system = SystemConfig::geo(1, n).expect("valid test system");
+        let cfg = ProtocolConfig::new(system.clone());
+        let ks = KeyStore::new(0xFEED);
+        let scope = Scope::Cluster(rdb_common::ids::ClusterId(0));
+        let mut ids = Vec::new();
+        let mut cores = Vec::new();
+        let mut cryptos = Vec::new();
+        for r in system.replicas_of(rdb_common::ids::ClusterId(0)) {
+            let signer = ks.register(NodeId::Replica(r));
+            let crypto = CryptoCtx::new(signer, ks.verifier(), true);
+            ids.push(r);
+            cryptos.push(crypto.clone());
+            cores.push(PbftCore::new(scope, cfg.clone(), r, crypto));
+        }
+        TestCluster {
+            scope,
+            ids,
+            cores,
+            cryptos,
+            ks,
+            client_signers: HashMap::new(),
+        }
+    }
+
+    /// Create (and cache) a signed batch from client `client_idx` with
+    /// `txns` write transactions.
+    pub fn signed_batch(&mut self, client_idx: u32, batch_seq: u64, txns: usize) -> SignedBatch {
+        let client = ClientId::new(0, client_idx);
+        let signer = self
+            .client_signers
+            .entry(client)
+            .or_insert_with(|| self.ks.register(NodeId::Client(client)));
+        let batch = ClientBatch {
+            client,
+            batch_seq,
+            txns: (0..txns as u64)
+                .map(|i| Transaction {
+                    client,
+                    seq: batch_seq * 1000 + i,
+                    op: Operation::Write {
+                        key: i,
+                        value: Value::from_u64(batch_seq * 1000 + i),
+                    },
+                })
+                .collect(),
+        };
+        let sig = signer.sign(batch.digest().as_bytes());
+        SignedBatch {
+            pubkey: signer.public_key(),
+            sig,
+            batch,
+        }
+    }
+}
+
+/// Route the actions of `initial` outboxes (paired with the index of the
+/// core that produced them) until quiescence. Returns every
+/// [`CoreEvent`] tagged with the index of the core that emitted it.
+pub(crate) fn route_batches(
+    cores: &mut [PbftCore],
+    initial: Vec<(usize, Outbox)>,
+    mut deliver_to: impl FnMut(usize) -> bool,
+) -> Vec<(usize, CoreEvent)> {
+    let mut queue: VecDeque<(usize, usize, Message)> = VecDeque::new();
+    let index_of = |r: ReplicaId| r.index as usize;
+
+    let mut push_actions = |from: usize, actions: Vec<Action>, queue: &mut VecDeque<_>| {
+        for a in actions {
+            if let Action::Send { to, msg } = a {
+                if let NodeId::Replica(r) = to {
+                    queue.push_back((from, index_of(r), msg));
+                }
+            }
+        }
+    };
+
+    let mut events = Vec::new();
+    for (from, mut out) in initial {
+        push_actions(from, out.take(), &mut queue);
+    }
+    let mut steps = 0usize;
+    while let Some((from, to, msg)) = queue.pop_front() {
+        steps += 1;
+        assert!(steps < 2_000_000, "routing did not quiesce");
+        if !deliver_to(to) {
+            continue;
+        }
+        let from_id = cores[from].id();
+        let mut out = Outbox::new();
+        let evs = cores[to].handle_message(from_id, msg, &mut out);
+        for e in evs {
+            events.push((to, e));
+        }
+        push_actions(to, out.take(), &mut queue);
+    }
+    events
+}
+
+/// Route until quiescent, delivering everything; the initial outbox is
+/// attributed to core 0.
+pub(crate) fn route_core_messages(
+    cores: &mut Vec<PbftCore>,
+    out: Outbox,
+) -> Vec<(usize, CoreEvent)> {
+    route_batches(cores, vec![(0, out)], |_| true)
+}
+
+/// Build a commit-certificate fixture from core `Committed` output.
+#[allow(dead_code)]
+pub(crate) fn cert_from_commit(
+    cluster: rdb_common::ids::ClusterId,
+    seq: u64,
+    batch: &SignedBatch,
+    commits: &[CommitSig],
+) -> crate::certificate::CommitCertificate {
+    crate::certificate::CommitCertificate {
+        cluster,
+        round: seq,
+        digest: batch.digest(),
+        batch: batch.clone(),
+        commits: commits.to_vec(),
+    }
+}

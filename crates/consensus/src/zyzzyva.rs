@@ -1,0 +1,739 @@
+//! Zyzzyva — speculative Byzantine fault tolerance (Kotla et al.), as
+//! characterized in the paper (§1.1, §3):
+//!
+//! * "designed with the most optimal case in mind: it requires non-faulty
+//!   clients and depends on clients to aid in the recovery of any
+//!   failures";
+//! * "clients in Zyzzyva require identical responses from all n replicas.
+//!   If these are not received, the client initiates recovery of any
+//!   requests with sufficient n − f responses by broadcasting certificates
+//!   of these requests. This will greatly reduce performance when any
+//!   replicas are faulty."
+//!
+//! The replica side is minimal: the primary orders requests and replicas
+//! *speculatively execute* in order, answering clients directly with
+//! signed responses that embed a rolling history digest. The client side
+//! carries the protocol's complexity.
+
+use crate::api::{ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
+use crate::clients::BatchSource;
+use crate::config::ProtocolConfig;
+use crate::crypto_ctx::CryptoCtx;
+use crate::exec::execute_batch;
+use crate::messages::Message;
+use crate::types::{Decision, DecisionEntry, SignedBatch};
+use rdb_common::ids::{ClientId, NodeId, ReplicaId};
+use rdb_common::time::SimTime;
+use rdb_crypto::digest::Digest;
+use rdb_crypto::sign::Signature;
+use rdb_store::KvStore;
+use std::collections::{BTreeMap, HashMap};
+
+/// Canonical bytes a replica signs in a speculative response.
+pub fn spec_response_payload(
+    view: u64,
+    seq: u64,
+    digest: &Digest,
+    history: &Digest,
+    result: &Digest,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 96 + 4);
+    out.extend_from_slice(b"spec");
+    out.extend_from_slice(&view.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(digest.as_bytes());
+    out.extend_from_slice(history.as_bytes());
+    out.extend_from_slice(result.as_bytes());
+    out
+}
+
+/// A Zyzzyva replica.
+pub struct ZyzzyvaReplica {
+    cfg: ProtocolConfig,
+    id: ReplicaId,
+    crypto: CryptoCtx,
+    store: KvStore,
+    members: Vec<ReplicaId>,
+    /// Fixed view 0: the paper excludes Zyzzyva from primary-failure
+    /// experiments ("it already fails to deal with non-primary failures").
+    view: u64,
+    /// Primary: next sequence number to assign.
+    next_seq: u64,
+    /// Ordered-but-not-executed requests (waiting for gaps to fill).
+    ordered: BTreeMap<u64, SignedBatch>,
+    /// Next sequence to execute speculatively.
+    exec_next: u64,
+    /// Rolling history digest `h_s = H(h_{s-1} || d_s)`.
+    history: Digest,
+    /// Executed requests (for commit-phase acknowledgements):
+    /// seq -> (digest, history after execution, client, batch_seq).
+    executed: BTreeMap<u64, (Digest, Digest, ClientId, u64)>,
+    /// Primary-side dedupe of proposed client batches.
+    proposed: HashMap<(ClientId, u64), u64>,
+    executed_decisions: u64,
+}
+
+impl ZyzzyvaReplica {
+    /// Build a replica.
+    pub fn new(cfg: ProtocolConfig, id: ReplicaId, crypto: CryptoCtx, store: KvStore) -> Self {
+        let members = cfg.system.all_replicas().collect();
+        ZyzzyvaReplica {
+            cfg,
+            id,
+            crypto,
+            store,
+            members,
+            view: 0,
+            next_seq: 1,
+            ordered: BTreeMap::new(),
+            exec_next: 1,
+            history: Digest::ZERO,
+            executed: BTreeMap::new(),
+            proposed: HashMap::new(),
+            executed_decisions: 0,
+        }
+    }
+
+    fn primary(&self) -> ReplicaId {
+        self.members[(self.view % self.members.len() as u64) as usize]
+    }
+
+    fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    /// Decisions speculatively executed.
+    pub fn executed_decisions(&self) -> u64 {
+        self.executed_decisions
+    }
+
+    /// Store state digest (tests).
+    pub fn state_digest(&self) -> Digest {
+        self.store.state_digest()
+    }
+
+    fn handle_request(&mut self, sb: SignedBatch, out: &mut Outbox) {
+        if !self.is_primary() {
+            out.send(self.primary(), Message::Forward(sb));
+            return;
+        }
+        if !self.crypto.verify_batch(&sb) {
+            return;
+        }
+        let key = (sb.batch.client, sb.batch.batch_seq);
+        if self.proposed.contains_key(&key) {
+            return; // duplicate; the speculative response was already sent
+        }
+        // Window control: don't run unboundedly ahead of execution.
+        if self.next_seq >= self.exec_next + self.cfg.window {
+            return; // dropped; the client will retransmit
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.proposed.insert(key, seq);
+        let digest = sb.digest();
+        let msg = Message::OrderReq {
+            view: self.view,
+            seq,
+            batch: sb,
+            history: digest,
+        };
+        out.multicast(self.members.iter().copied(), &msg);
+    }
+
+    fn handle_order_req(
+        &mut self,
+        from: ReplicaId,
+        seq: u64,
+        batch: SignedBatch,
+        out: &mut Outbox,
+    ) {
+        if from != self.primary() {
+            return;
+        }
+        if seq < self.exec_next || seq >= self.exec_next + 2 * self.cfg.window {
+            return;
+        }
+        if !self.crypto.verify_batch(&batch) {
+            return;
+        }
+        self.ordered.entry(seq).or_insert(batch);
+        self.try_speculative_execute(out);
+    }
+
+    fn try_speculative_execute(&mut self, out: &mut Outbox) {
+        while let Some(batch) = self.ordered.remove(&self.exec_next) {
+            let seq = self.exec_next;
+            self.exec_next += 1;
+            self.executed_decisions += 1;
+            let digest = batch.digest();
+            self.history = Digest::combine(&self.history, &digest);
+            let result = execute_batch(&mut self.store, self.cfg.exec_mode, &batch);
+            let client = batch.batch.client;
+            let batch_seq = batch.batch.batch_seq;
+            self.executed
+                .insert(seq, (digest, self.history, client, batch_seq));
+            // Speculative response straight to the client, signed.
+            let sig = self.crypto.sign(&spec_response_payload(
+                self.view,
+                seq,
+                &digest,
+                &self.history,
+                &result,
+            ));
+            out.send(
+                client,
+                Message::SpecResponse {
+                    view: self.view,
+                    seq,
+                    batch_seq,
+                    replica: self.id,
+                    digest,
+                    history: self.history,
+                    result,
+                    sig,
+                },
+            );
+            out.decided(Decision {
+                seq,
+                entries: vec![DecisionEntry {
+                    origin: None,
+                    batch,
+                }],
+                state_digest: self.store.state_digest(),
+            });
+            // Prune the executed log to a window.
+            let keep_from = self.exec_next.saturating_sub(4 * self.cfg.window);
+            self.executed.retain(|s, _| *s >= keep_from);
+        }
+    }
+
+    fn handle_zyz_commit(
+        &mut self,
+        client: ClientId,
+        batch_seq: u64,
+        seq: u64,
+        digest: Digest,
+        sigs: &[(ReplicaId, Signature)],
+        out: &mut Outbox,
+    ) {
+        // A commit certificate needs 2F + 1 matching responses.
+        let needed = 2 * self.cfg.global_f() + 1;
+        if sigs.len() < needed {
+            return;
+        }
+        let Some((d, _h, c, bs)) = self.executed.get(&seq) else {
+            return; // not executed here yet; the client will retry
+        };
+        if *d != digest || *c != client || *bs != batch_seq {
+            return;
+        }
+        out.send(
+            client,
+            Message::LocalCommit {
+                view: self.view,
+                seq,
+                batch_seq,
+                replica: self.id,
+            },
+        );
+    }
+}
+
+impl ReplicaProtocol for ZyzzyvaReplica {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_start(&mut self, _now: SimTime, _out: &mut Outbox) {}
+
+    fn on_message(&mut self, _now: SimTime, from: NodeId, msg: Message, out: &mut Outbox) {
+        match msg {
+            Message::Request(sb) | Message::Forward(sb) => self.handle_request(sb, out),
+            Message::OrderReq { seq, batch, .. } => {
+                if let NodeId::Replica(from) = from {
+                    self.handle_order_req(from, seq, batch, out);
+                }
+            }
+            Message::ZyzCommit {
+                client,
+                batch_seq,
+                seq,
+                digest,
+                sigs,
+                ..
+            } => self.handle_zyz_commit(client, batch_seq, seq, digest, &sigs, out),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, _timer: TimerKind, _out: &mut Outbox) {}
+}
+
+/// One speculative response recorded by the client.
+#[derive(Debug, Clone)]
+struct SpecEntry {
+    seq: u64,
+    digest: Digest,
+    history: Digest,
+    sig: Signature,
+}
+
+/// In-flight request state at the client.
+struct ZyzOutstanding {
+    seq: u64,
+    signed: SignedBatch,
+    /// replica -> response.
+    responses: HashMap<ReplicaId, SpecEntry>,
+    /// replicas that acknowledged the commit certificate.
+    local_commits: HashMap<ReplicaId, u64>,
+    committing: bool,
+}
+
+/// The Zyzzyva client: the fast path requires responses from *all* `n`
+/// replicas; the fallback broadcasts a commit certificate of `2F + 1`
+/// matching responses.
+pub struct ZyzzyvaClient {
+    id: ClientId,
+    cfg: ProtocolConfig,
+    crypto: CryptoCtx,
+    source: BatchSource,
+    next_seq: u64,
+    outstanding: Option<ZyzOutstanding>,
+    retry_timeout: rdb_common::time::SimDuration,
+}
+
+impl ZyzzyvaClient {
+    /// Create a client.
+    pub fn new(
+        id: ClientId,
+        cfg: ProtocolConfig,
+        crypto: CryptoCtx,
+        source: BatchSource,
+    ) -> ZyzzyvaClient {
+        let retry_timeout = cfg.client_retry;
+        ZyzzyvaClient {
+            id,
+            cfg,
+            crypto,
+            source,
+            next_seq: 0,
+            outstanding: None,
+            retry_timeout,
+        }
+    }
+
+    fn primary(&self) -> ReplicaId {
+        self.cfg
+            .system
+            .all_replicas()
+            .next()
+            .expect("non-empty system")
+    }
+
+    fn total_replicas(&self) -> usize {
+        self.cfg.global_n()
+    }
+
+    /// Find the largest set of matching responses (same seq, digest,
+    /// history).
+    fn best_match(outst: &ZyzOutstanding) -> (usize, Option<(u64, Digest, Digest)>) {
+        let mut counts: HashMap<(u64, Digest, Digest), usize> = HashMap::new();
+        for e in outst.responses.values() {
+            *counts.entry((e.seq, e.digest, e.history)).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|(_, c)| *c)
+            .map_or((0, None), |(k, c)| (c, Some(k)))
+    }
+
+    fn complete(&mut self, out: &mut Outbox) {
+        let outst = self.outstanding.take().expect("outstanding");
+        out.cancel_timer(TimerKind::ClientRetry { seq: outst.seq });
+        out.cancel_timer(TimerKind::SpecWindow { seq: outst.seq });
+        out.request_complete(outst.seq, outst.signed.batch.len());
+    }
+}
+
+impl ClientProtocol for ZyzzyvaClient {
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn next_request(&mut self, _now: SimTime, out: &mut Outbox) -> bool {
+        debug_assert!(self.outstanding.is_none());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let batch = (self.source)(seq);
+        let digest = batch.digest();
+        let signed = SignedBatch {
+            sig: self.crypto.sign(digest.as_bytes()),
+            pubkey: self.crypto.public_key(),
+            batch,
+        };
+        self.outstanding = Some(ZyzOutstanding {
+            seq,
+            signed: signed.clone(),
+            responses: HashMap::new(),
+            local_commits: HashMap::new(),
+            committing: false,
+        });
+        self.retry_timeout = self.cfg.client_retry;
+        out.send(self.primary(), Message::Request(signed));
+        out.set_timer(TimerKind::SpecWindow { seq }, self.cfg.spec_window);
+        out.set_timer(TimerKind::ClientRetry { seq }, self.retry_timeout);
+        true
+    }
+
+    fn on_message(&mut self, _now: SimTime, from: NodeId, msg: Message, out: &mut Outbox) {
+        let NodeId::Replica(replica) = from else {
+            return;
+        };
+        let total = self.total_replicas();
+        let needed_commit = 2 * self.cfg.global_f() + 1;
+        let Some(outst) = self.outstanding.as_mut() else {
+            return;
+        };
+        match msg {
+            Message::SpecResponse {
+                view,
+                seq,
+                batch_seq,
+                replica: resp_replica,
+                digest,
+                history,
+                result,
+                sig,
+            } => {
+                if batch_seq != outst.seq || resp_replica != replica {
+                    return;
+                }
+                if digest != outst.signed.digest() {
+                    return;
+                }
+                if self.crypto.checks_signatures() {
+                    let Some(pk) = self.crypto.verifier().public_key_of(replica.into()) else {
+                        return;
+                    };
+                    let payload = spec_response_payload(view, seq, &digest, &history, &result);
+                    if !self.crypto.verify(&pk, &payload, &sig) {
+                        return;
+                    }
+                }
+                outst.responses.insert(
+                    replica,
+                    SpecEntry {
+                        seq,
+                        digest,
+                        history,
+                        sig,
+                    },
+                );
+                // Fast path: all n replicas agree (§3: "clients in Zyzzyva
+                // require identical responses from all n replicas").
+                let (count, _) = Self::best_match(outst);
+                if count == total {
+                    self.complete(out);
+                }
+            }
+            Message::LocalCommit { seq, batch_seq, .. } => {
+                if batch_seq != outst.seq || !outst.committing {
+                    return;
+                }
+                outst.local_commits.insert(replica, seq);
+                if outst.local_commits.len() >= needed_commit {
+                    self.complete(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, timer: TimerKind, out: &mut Outbox) {
+        let needed_commit = 2 * self.cfg.global_f() + 1;
+        match timer {
+            TimerKind::SpecWindow { seq } => {
+                let Some(outst) = self.outstanding.as_mut() else {
+                    return;
+                };
+                if outst.seq != seq || outst.committing {
+                    return;
+                }
+                let (count, key) = Self::best_match(outst);
+                if count >= needed_commit {
+                    // Commit phase: broadcast the certificate of 2F + 1
+                    // matching responses to all replicas.
+                    let (rseq, digest, history) = key.expect("count > 0");
+                    outst.committing = true;
+                    let sigs: Vec<(ReplicaId, Signature)> = outst
+                        .responses
+                        .iter()
+                        .filter(|(_, e)| {
+                            e.seq == rseq && e.digest == digest && e.history == history
+                        })
+                        .map(|(r, e)| (*r, e.sig))
+                        .take(needed_commit)
+                        .collect();
+                    let msg = Message::ZyzCommit {
+                        client: self.id,
+                        batch_seq: outst.seq,
+                        view: 0,
+                        seq: rseq,
+                        digest,
+                        history,
+                        sigs,
+                    };
+                    let members: Vec<ReplicaId> = self.cfg.system.all_replicas().collect();
+                    out.multicast(members, &msg);
+                } else {
+                    // Not enough responses yet: extend the window and keep
+                    // waiting (the retry timer handles retransmission).
+                    out.set_timer(TimerKind::SpecWindow { seq }, self.cfg.spec_window);
+                }
+            }
+            TimerKind::ClientRetry { seq } => {
+                let Some(outst) = self.outstanding.as_ref() else {
+                    return;
+                };
+                if outst.seq != seq {
+                    return;
+                }
+                let msg = Message::Request(outst.signed.clone());
+                out.send(self.primary(), msg);
+                self.retry_timeout = self.retry_timeout.doubled();
+                out.set_timer(TimerKind::ClientRetry { seq }, self.retry_timeout);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Action;
+    use crate::clients::synthetic_source;
+    use crate::config::ExecMode;
+    use rdb_common::config::SystemConfig;
+    use rdb_crypto::sign::KeyStore;
+
+    fn setup(n: usize) -> (Vec<ZyzzyvaReplica>, ZyzzyvaClient, KeyStore, ProtocolConfig) {
+        let system = SystemConfig::geo(1, n).unwrap();
+        let mut cfg = ProtocolConfig::new(system.clone());
+        cfg.exec_mode = ExecMode::Real;
+        let ks = KeyStore::new(33);
+        let replicas: Vec<ZyzzyvaReplica> = system
+            .all_replicas()
+            .map(|r| {
+                let signer = ks.register(NodeId::Replica(r));
+                let crypto = CryptoCtx::new(signer, ks.verifier(), true);
+                ZyzzyvaReplica::new(cfg.clone(), r, crypto, KvStore::with_ycsb_records(50))
+            })
+            .collect();
+        let cid = ClientId::new(0, 0);
+        let signer = ks.register(NodeId::Client(cid));
+        let crypto = CryptoCtx::new(signer, ks.verifier(), true);
+        let client = ZyzzyvaClient::new(cid, cfg.clone(), crypto, synthetic_source(cid, 3, 30));
+        (replicas, client, ks, cfg)
+    }
+
+    /// Deliver actions among replicas + the one client until quiescent.
+    fn pump(
+        replicas: &mut [ZyzzyvaReplica],
+        client: &mut ZyzzyvaClient,
+        initial: Vec<Action>,
+        skip_replica: Option<usize>,
+    ) -> bool {
+        let mut queue: Vec<(NodeId, Action)> = initial
+            .into_iter()
+            .map(|a| (NodeId::Client(client.id()), a))
+            .collect();
+        let mut completed = false;
+        let mut steps = 0;
+        while let Some((from, action)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 100_000);
+            match action {
+                Action::Send { to, msg } => match to {
+                    NodeId::Replica(r) => {
+                        let idx = r.index as usize;
+                        if Some(idx) == skip_replica {
+                            continue;
+                        }
+                        let mut out = Outbox::new();
+                        replicas[idx].on_message(SimTime::ZERO, from, msg, &mut out);
+                        for a in out.take() {
+                            queue.push((NodeId::Replica(r), a));
+                        }
+                    }
+                    NodeId::Client(_) => {
+                        let mut out = Outbox::new();
+                        client.on_message(SimTime::ZERO, from, msg, &mut out);
+                        for a in out.take() {
+                            queue.push((NodeId::Client(client.id()), a));
+                        }
+                    }
+                },
+                Action::RequestComplete { .. } => completed = true,
+                _ => {}
+            }
+        }
+        completed
+    }
+
+    #[test]
+    fn fast_path_completes_with_all_replicas() {
+        let (mut replicas, mut client, _ks, _cfg) = setup(4);
+        let mut out = Outbox::new();
+        client.next_request(SimTime::ZERO, &mut out);
+        let completed = pump(&mut replicas, &mut client, out.take(), None);
+        assert!(completed, "all 4 spec responses => fast-path completion");
+        // All replicas executed speculatively and agree.
+        let s0 = replicas[0].state_digest();
+        assert!(replicas.iter().all(|r| r.state_digest() == s0));
+        assert!(replicas.iter().all(|r| r.executed_decisions() == 1));
+    }
+
+    #[test]
+    fn one_failure_stalls_fast_path_until_commit_phase() {
+        let (mut replicas, mut client, _ks, _cfg) = setup(4);
+        let mut out = Outbox::new();
+        client.next_request(SimTime::ZERO, &mut out);
+        // Replica 3 is down: only 3 of 4 responses arrive.
+        let completed = pump(&mut replicas, &mut client, out.take(), Some(3));
+        assert!(!completed, "fast path requires all n responses");
+
+        // The spec-window timer fires: 3 = 2F+1 responses are enough for
+        // the commit phase.
+        let mut out = Outbox::new();
+        client.on_timer(SimTime::ZERO, TimerKind::SpecWindow { seq: 0 }, &mut out);
+        let actions = out.take();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: Message::ZyzCommit { .. }, .. })));
+        let completed = pump(&mut replicas, &mut client, actions, Some(3));
+        assert!(completed, "commit phase completes with 2F+1 local-commits");
+    }
+
+    #[test]
+    fn too_few_responses_extends_window() {
+        let (_replicas, mut client, _ks, _cfg) = setup(4);
+        let mut out = Outbox::new();
+        client.next_request(SimTime::ZERO, &mut out);
+        drop(out); // nobody answers
+        let mut out = Outbox::new();
+        client.on_timer(SimTime::ZERO, TimerKind::SpecWindow { seq: 0 }, &mut out);
+        let actions = out.take();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::SpecWindow { seq: 0 },
+                ..
+            }
+        )));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: Message::ZyzCommit { .. }, .. })));
+    }
+
+    #[test]
+    fn replicas_execute_in_seq_order_despite_reordering() {
+        let (mut replicas, _client, ks, _cfg) = setup(4);
+        // Hand a backup replica order-reqs out of order.
+        let c = ClientId::new(0, 9);
+        let signer = ks.register(NodeId::Client(c));
+        let mut src = synthetic_source(c, 2, 20);
+        let mut mk = |seq: u64| {
+            let b = src(seq);
+            let sig = signer.sign(b.digest().as_bytes());
+            SignedBatch {
+                pubkey: signer.public_key(),
+                sig,
+                batch: b,
+            }
+        };
+        let b1 = mk(0);
+        let b2 = mk(1);
+        let primary = ReplicaId::new(0, 0);
+        let mut out = Outbox::new();
+        replicas[1].on_message(
+            SimTime::ZERO,
+            primary.into(),
+            Message::OrderReq {
+                view: 0,
+                seq: 2,
+                batch: b2,
+                history: Digest::ZERO,
+            },
+            &mut out,
+        );
+        assert_eq!(replicas[1].executed_decisions(), 0, "gap at seq 1");
+        replicas[1].on_message(
+            SimTime::ZERO,
+            primary.into(),
+            Message::OrderReq {
+                view: 0,
+                seq: 1,
+                batch: b1,
+                history: Digest::ZERO,
+            },
+            &mut out,
+        );
+        assert_eq!(replicas[1].executed_decisions(), 2, "both executed in order");
+    }
+
+    #[test]
+    fn order_req_from_non_primary_rejected() {
+        let (mut replicas, _client, ks, _cfg) = setup(4);
+        let c = ClientId::new(0, 9);
+        let signer = ks.register(NodeId::Client(c));
+        let mut src = synthetic_source(c, 2, 20);
+        let b = src(0);
+        let sig = signer.sign(b.digest().as_bytes());
+        let sb = SignedBatch {
+            pubkey: signer.public_key(),
+            sig,
+            batch: b,
+        };
+        let mut out = Outbox::new();
+        replicas[1].on_message(
+            SimTime::ZERO,
+            ReplicaId::new(0, 2).into(),
+            Message::OrderReq {
+                view: 0,
+                seq: 1,
+                batch: sb,
+                history: Digest::ZERO,
+            },
+            &mut out,
+        );
+        assert_eq!(replicas[1].executed_decisions(), 0);
+        assert!(out.take().is_empty());
+    }
+
+    #[test]
+    fn commit_certificate_with_too_few_sigs_ignored() {
+        let (mut replicas, mut client, _ks, _cfg) = setup(4);
+        let mut out = Outbox::new();
+        client.next_request(SimTime::ZERO, &mut out);
+        pump(&mut replicas, &mut client, out.take(), None);
+        // Craft an undersized commit certificate.
+        let mut out = Outbox::new();
+        replicas[1].on_message(
+            SimTime::ZERO,
+            NodeId::Client(ClientId::new(0, 0)),
+            Message::ZyzCommit {
+                client: ClientId::new(0, 0),
+                batch_seq: 0,
+                view: 0,
+                seq: 1,
+                digest: Digest::ZERO,
+                history: Digest::ZERO,
+                sigs: vec![(ReplicaId::new(0, 0), Signature::default())],
+            },
+            &mut out,
+        );
+        assert!(out.take().is_empty());
+    }
+}

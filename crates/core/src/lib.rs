@@ -1,0 +1,35 @@
+//! # resilientdb
+//!
+//! The ResilientDB fabric (§3 of the paper): a multi-threaded, pipelined
+//! runtime that executes the consensus state machines of `rdb-consensus`
+//! on real OS threads over a pluggable transport, maintains the
+//! blockchain ledger, and serves closed-loop clients.
+//!
+//! The paper's Figure 9 architecture associates input threads, a batching
+//! thread, worker/certify/execute threads and output threads with every
+//! replica. This implementation keeps that pipeline shape per node:
+//!
+//! * an **input thread** receives envelopes from the transport and feeds
+//!   the work queue,
+//! * a **worker thread** owns the protocol state machine (worker, certify
+//!   and execute stages of Figure 9 — the sans-io state machines already
+//!   integrate certification and execution), fires timers, and appends
+//!   finalized decisions to the node's ledger,
+//! * an **output thread** drains outgoing messages to the transport, so
+//!   network pressure never stalls consensus processing.
+//!
+//! Clients run the same way on their own threads. The
+//! [`deployment::DeploymentBuilder`] assembles a full system in-process —
+//! with real signatures, real execution against the YCSB store, and
+//! optionally injected WAN delays — and reports client-observed
+//! throughput/latency plus per-replica ledgers.
+
+pub mod deployment;
+pub mod metrics;
+pub mod node;
+pub mod transport;
+
+pub use deployment::{DeploymentBuilder, DeploymentReport};
+pub use metrics::Metrics;
+pub use node::{ClientRuntime, ReplicaRuntime};
+pub use transport::{Envelope, InProcTransport, TransportHandle};

@@ -1,0 +1,126 @@
+//! Shared runtime metrics collected across node and client threads.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deployment-wide counters. Cheap to clone (all state shared).
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    completed_batches: AtomicU64,
+    completed_txns: AtomicU64,
+    decided: AtomicU64,
+    messages_sent: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// Fresh metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record a completed client batch.
+    pub fn record_completion(&self, txns: usize, latency: Duration) {
+        self.inner.completed_batches.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .completed_txns
+            .fetch_add(txns as u64, Ordering::Relaxed);
+        self.inner
+            .latencies_ns
+            .lock()
+            .push(latency.as_nanos() as u64);
+    }
+
+    /// Record a replica decision.
+    pub fn record_decision(&self) {
+        self.inner.decided.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an outgoing message.
+    pub fn record_message(&self) {
+        self.inner.messages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed client batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.inner.completed_batches.load(Ordering::Relaxed)
+    }
+
+    /// Completed transactions.
+    pub fn completed_txns(&self) -> u64 {
+        self.inner.completed_txns.load(Ordering::Relaxed)
+    }
+
+    /// Replica decisions (across all replicas).
+    pub fn decided(&self) -> u64 {
+        self.inner.decided.load(Ordering::Relaxed)
+    }
+
+    /// Messages sent through the transport.
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Mean completion latency.
+    pub fn avg_latency(&self) -> Duration {
+        let v = self.inner.latencies_ns.lock();
+        if v.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(v.iter().sum::<u64>() / v.len() as u64)
+        }
+    }
+
+    /// Latency percentile in [0, 1].
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        let mut v = self.inner.latencies_ns.lock().clone();
+        if v.is_empty() {
+            return Duration::ZERO;
+        }
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        Duration::from_nanos(v[idx.min(v.len() - 1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_completion(100, Duration::from_millis(10));
+        m.record_completion(100, Duration::from_millis(30));
+        m.record_decision();
+        m.record_message();
+        assert_eq!(m.completed_batches(), 2);
+        assert_eq!(m.completed_txns(), 200);
+        assert_eq!(m.decided(), 1);
+        assert_eq!(m.messages_sent(), 1);
+        assert_eq!(m.avg_latency(), Duration::from_millis(20));
+        assert_eq!(m.latency_percentile(1.0), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn empty_latency_is_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.avg_latency(), Duration::ZERO);
+        assert_eq!(m.latency_percentile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.record_decision();
+        assert_eq!(m.decided(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Node runtimes: the per-replica and per-client thread pipelines.
+
+use crate::metrics::Metrics;
+use crate::transport::{Envelope, TransportHandle};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use rdb_common::ids::NodeId;
+use rdb_common::time::SimTime;
+use rdb_consensus::api::{Action, ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
+use rdb_consensus::messages::Message;
+use rdb_ledger::Ledger;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Timer bookkeeping shared by both runtimes.
+struct TimerWheel {
+    epoch: Instant,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Instant, u64, TimerKind)>>,
+    gens: HashMap<TimerKind, u64>,
+}
+
+impl TimerWheel {
+    fn new(epoch: Instant) -> TimerWheel {
+        TimerWheel {
+            epoch,
+            heap: std::collections::BinaryHeap::new(),
+            gens: HashMap::new(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn set(&mut self, kind: TimerKind, after: rdb_common::time::SimDuration) {
+        let gen = self.gens.entry(kind).or_insert(0);
+        *gen += 1;
+        let due = Instant::now() + Duration::from_nanos(after.as_nanos());
+        self.heap.push(std::cmp::Reverse((due, *gen, kind)));
+    }
+
+    fn cancel(&mut self, kind: TimerKind) {
+        *self.gens.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Pop all due timers whose generation is current.
+    fn due(&mut self) -> Vec<TimerKind> {
+        let now = Instant::now();
+        let mut fired = Vec::new();
+        while let Some(std::cmp::Reverse((due, gen, kind))) = self.heap.peek().copied() {
+            if due > now {
+                break;
+            }
+            self.heap.pop();
+            if self.gens.get(&kind).copied() == Some(gen) {
+                fired.push(kind);
+            }
+        }
+        fired
+    }
+
+    /// Time until the next (possibly stale) timer.
+    fn next_wait(&self) -> Duration {
+        match self.heap.peek() {
+            Some(std::cmp::Reverse((due, _, _))) => due
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(20)),
+            None => Duration::from_millis(20),
+        }
+    }
+}
+
+/// A running replica: input thread + worker thread + output thread
+/// (paper Figure 9; see the crate docs for the mapping).
+pub struct ReplicaRuntime {
+    node: NodeId,
+    shutdown: Arc<AtomicBool>,
+    input_handle: JoinHandle<()>,
+    worker_handle: JoinHandle<Ledger>,
+    output_handle: JoinHandle<()>,
+}
+
+impl ReplicaRuntime {
+    /// Spawn the pipeline for `protocol` on `handle`.
+    pub fn spawn(
+        mut protocol: Box<dyn ReplicaProtocol>,
+        handle: TransportHandle,
+        metrics: Metrics,
+        epoch: Instant,
+    ) -> ReplicaRuntime {
+        let node = handle.node;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (work_tx, work_rx) = unbounded::<Envelope>();
+        let (out_tx, out_rx) = unbounded::<(NodeId, Message)>();
+
+        // Input thread: transport -> work queue.
+        let inbox = handle.inbox.clone();
+        let stop = Arc::clone(&shutdown);
+        let input_handle = std::thread::Builder::new()
+            .name(format!("{node}-input"))
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match inbox.recv_timeout(Duration::from_millis(20)) {
+                        Ok(env) => {
+                            if work_tx.send(env).is_err() {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("spawn input thread");
+
+        // Output thread: output queue -> transport.
+        let stop = Arc::clone(&shutdown);
+        let out_metrics = metrics.clone();
+        let output_handle = std::thread::Builder::new()
+            .name(format!("{node}-output"))
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match out_rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok((to, msg)) => {
+                            out_metrics.record_message();
+                            handle.send(to, msg);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("spawn output thread");
+
+        // Worker thread: the state machine, timers, the ledger.
+        let stop = Arc::clone(&shutdown);
+        let worker_metrics = metrics;
+        let worker_handle = std::thread::Builder::new()
+            .name(format!("{node}-worker"))
+            .spawn(move || {
+                let mut wheel = TimerWheel::new(epoch);
+                let mut ledger = Ledger::new();
+                let mut out = Outbox::new();
+                protocol.on_start(wheel.now(), &mut out);
+                process_replica_actions(
+                    out.take(),
+                    &mut wheel,
+                    &out_tx,
+                    &mut ledger,
+                    &worker_metrics,
+                );
+                while !stop.load(Ordering::Relaxed) {
+                    match work_rx.recv_timeout(wheel.next_wait()) {
+                        Ok(env) => {
+                            let mut out = Outbox::new();
+                            protocol.on_message(wheel.now(), env.from, env.msg, &mut out);
+                            process_replica_actions(
+                                out.take(),
+                                &mut wheel,
+                                &out_tx,
+                                &mut ledger,
+                                &worker_metrics,
+                            );
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    for kind in wheel.due() {
+                        let mut out = Outbox::new();
+                        protocol.on_timer(wheel.now(), kind, &mut out);
+                        process_replica_actions(
+                            out.take(),
+                            &mut wheel,
+                            &out_tx,
+                            &mut ledger,
+                            &worker_metrics,
+                        );
+                    }
+                }
+                ledger
+            })
+            .expect("spawn worker thread");
+
+        ReplicaRuntime {
+            node,
+            shutdown,
+            input_handle,
+            worker_handle,
+            output_handle,
+        }
+    }
+
+    /// The node this runtime serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Stop the pipeline and return the replica's ledger.
+    pub fn stop(self) -> Ledger {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let ledger = self.worker_handle.join().expect("worker thread");
+        self.input_handle.join().expect("input thread");
+        self.output_handle.join().expect("output thread");
+        ledger
+    }
+}
+
+fn process_replica_actions(
+    actions: Vec<Action>,
+    wheel: &mut TimerWheel,
+    out_tx: &Sender<(NodeId, Message)>,
+    ledger: &mut Ledger,
+    metrics: &Metrics,
+) {
+    for a in actions {
+        match a {
+            Action::Send { to, msg } => {
+                let _ = out_tx.send((to, msg));
+            }
+            Action::SetTimer { kind, after } => wheel.set(kind, after),
+            Action::CancelTimer { kind } => wheel.cancel(kind),
+            Action::Decided(decision) => {
+                metrics.record_decision();
+                ledger.append_decision(&decision);
+            }
+            Action::RequestComplete { .. } => {}
+        }
+    }
+}
+
+/// A running closed-loop client.
+pub struct ClientRuntime {
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl ClientRuntime {
+    /// Spawn the client loop. The client submits, waits for its reply
+    /// quorum, records the latency and submits again until stopped.
+    pub fn spawn(
+        mut protocol: Box<dyn ClientProtocol>,
+        handle: TransportHandle,
+        metrics: Metrics,
+        epoch: Instant,
+    ) -> ClientRuntime {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let join = std::thread::Builder::new()
+            .name(format!("{}-client", handle.node))
+            .spawn(move || {
+                let mut wheel = TimerWheel::new(epoch);
+                let mut submitted_at = Instant::now();
+                let mut out = Outbox::new();
+                protocol.next_request(wheel.now(), &mut out);
+                let mut pending =
+                    process_client_actions(out.take(), &mut wheel, &handle, &metrics, submitted_at);
+                debug_assert!(!pending);
+                while !stop.load(Ordering::Relaxed) {
+                    match handle.inbox.recv_timeout(wheel.next_wait()) {
+                        Ok(env) => {
+                            let mut out = Outbox::new();
+                            protocol.on_message(wheel.now(), env.from, env.msg, &mut out);
+                            pending = process_client_actions(
+                                out.take(),
+                                &mut wheel,
+                                &handle,
+                                &metrics,
+                                submitted_at,
+                            );
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    for kind in wheel.due() {
+                        let mut out = Outbox::new();
+                        protocol.on_timer(wheel.now(), kind, &mut out);
+                        pending |= process_client_actions(
+                            out.take(),
+                            &mut wheel,
+                            &handle,
+                            &metrics,
+                            submitted_at,
+                        );
+                    }
+                    if pending && !stop.load(Ordering::Relaxed) {
+                        // Closed loop: completed -> submit the next batch.
+                        submitted_at = Instant::now();
+                        let mut out = Outbox::new();
+                        protocol.next_request(wheel.now(), &mut out);
+                        process_client_actions(
+                            out.take(),
+                            &mut wheel,
+                            &handle,
+                            &metrics,
+                            submitted_at,
+                        );
+                        pending = false;
+                    }
+                }
+            })
+            .expect("spawn client thread");
+        ClientRuntime {
+            shutdown,
+            handle: join,
+        }
+    }
+
+    /// Stop the client.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+}
+
+/// Returns true when a request completed (caller submits the next one).
+fn process_client_actions(
+    actions: Vec<Action>,
+    wheel: &mut TimerWheel,
+    handle: &TransportHandle,
+    metrics: &Metrics,
+    submitted_at: Instant,
+) -> bool {
+    let mut completed = false;
+    for a in actions {
+        match a {
+            Action::Send { to, msg } => handle.send(to, msg),
+            Action::SetTimer { kind, after } => wheel.set(kind, after),
+            Action::CancelTimer { kind } => wheel.cancel(kind),
+            Action::RequestComplete { txns, .. } => {
+                metrics.record_completion(txns, submitted_at.elapsed());
+                completed = true;
+            }
+            Action::Decided(_) => {}
+        }
+    }
+    completed
+}

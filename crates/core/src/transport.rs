@@ -1,0 +1,276 @@
+//! In-process transport: crossbeam channels between nodes, with optional
+//! injected per-link delays to emulate a geo-distributed deployment on one
+//! machine.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rdb_common::ids::NodeId;
+use rdb_common::time::SimDuration;
+use rdb_consensus::messages::Message;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: Message,
+}
+
+/// Computes the injected one-way delay between two nodes (None or zero for
+/// direct delivery).
+pub type DelayFn = Arc<dyn Fn(NodeId, NodeId) -> SimDuration + Send + Sync>;
+
+struct DelayedEntry {
+    due: Instant,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for DelayedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedEntry {}
+impl PartialOrd for DelayedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct Shared {
+    inboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+    delay: Option<DelayFn>,
+    wheel: Mutex<BinaryHeap<Reverse<DelayedEntry>>>,
+    wheel_cv: Condvar,
+    running: AtomicBool,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+/// The in-process transport. Cloneable handle.
+#[derive(Clone)]
+pub struct InProcTransport {
+    shared: Arc<Shared>,
+}
+
+/// A node's endpoint: its receiver plus a sending handle.
+pub struct TransportHandle {
+    /// This node.
+    pub node: NodeId,
+    /// Incoming envelopes.
+    pub inbox: Receiver<Envelope>,
+    transport: InProcTransport,
+}
+
+impl InProcTransport {
+    /// Create a transport. `delay` injects per-link one-way delays (e.g.
+    /// from `rdb-simnet`'s Table 1 topology); `None` delivers directly.
+    pub fn new(delay: Option<DelayFn>) -> InProcTransport {
+        let t = InProcTransport {
+            shared: Arc::new(Shared {
+                inboxes: Mutex::new(HashMap::new()),
+                delay,
+                wheel: Mutex::new(BinaryHeap::new()),
+                wheel_cv: Condvar::new(),
+                running: AtomicBool::new(true),
+                seq: std::sync::atomic::AtomicU64::new(0),
+            }),
+        };
+        if t.shared.delay.is_some() {
+            t.spawn_pump();
+        }
+        t
+    }
+
+    /// Register a node, returning its endpoint.
+    pub fn register(&self, node: NodeId) -> TransportHandle {
+        let (tx, rx) = unbounded();
+        self.shared.inboxes.lock().insert(node, tx);
+        TransportHandle {
+            node,
+            inbox: rx,
+            transport: self.clone(),
+        }
+    }
+
+    /// Send an envelope (applying the delay policy).
+    pub fn send(&self, env: Envelope) {
+        let delay = self
+            .shared
+            .delay
+            .as_ref()
+            .map(|f| f(env.from, env.to))
+            .unwrap_or(SimDuration::ZERO);
+        if delay == SimDuration::ZERO {
+            self.deliver(env);
+        } else {
+            let due = Instant::now() + Duration::from_nanos(delay.as_nanos());
+            let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .wheel
+                .lock()
+                .push(Reverse(DelayedEntry { due, seq, env }));
+            self.shared.wheel_cv.notify_one();
+        }
+    }
+
+    fn deliver(&self, env: Envelope) {
+        let inboxes = self.shared.inboxes.lock();
+        if let Some(tx) = inboxes.get(&env.to) {
+            let _ = tx.send(env); // receiver may have shut down: drop
+        }
+    }
+
+    /// Remove a node (its messages are dropped from now on). Used to
+    /// crash replicas in failure tests.
+    pub fn disconnect(&self, node: NodeId) {
+        self.shared.inboxes.lock().remove(&node);
+    }
+
+    /// Stop the delay pump.
+    pub fn shutdown(&self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        self.shared.wheel_cv.notify_all();
+    }
+
+    fn spawn_pump(&self) {
+        let shared = Arc::clone(&self.shared);
+        let me = self.clone();
+        std::thread::Builder::new()
+            .name("rdb-delay-pump".into())
+            .spawn(move || {
+                let mut wheel = shared.wheel.lock();
+                while shared.running.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    // Deliver everything due.
+                    loop {
+                        match wheel.peek() {
+                            Some(Reverse(e)) if e.due <= now => {
+                                let Reverse(e) = wheel.pop().expect("peeked");
+                                drop(wheel);
+                                me.deliver(e.env);
+                                wheel = shared.wheel.lock();
+                            }
+                            _ => break,
+                        }
+                    }
+                    match wheel.peek() {
+                        Some(Reverse(e)) => {
+                            let due = e.due;
+                            let wait = due.saturating_duration_since(Instant::now());
+                            shared.wheel_cv.wait_for(&mut wheel, wait.max(Duration::from_micros(50)));
+                        }
+                        None => {
+                            shared
+                                .wheel_cv
+                                .wait_for(&mut wheel, Duration::from_millis(5));
+                        }
+                    }
+                }
+            })
+            .expect("spawn delay pump");
+    }
+}
+
+impl TransportHandle {
+    /// Send a message from this node.
+    pub fn send(&self, to: NodeId, msg: Message) {
+        self.transport.send(Envelope {
+            from: self.node,
+            to,
+            msg,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::ids::ReplicaId;
+
+    #[test]
+    fn direct_delivery() {
+        let t = InProcTransport::new(None);
+        let a: NodeId = ReplicaId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(0, 1).into();
+        let ha = t.register(a);
+        let hb = t.register(b);
+        ha.send(b, Message::Noop);
+        let env = hb.inbox.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, a);
+        assert!(matches!(env.msg, Message::Noop));
+    }
+
+    #[test]
+    fn delayed_delivery_takes_at_least_the_delay() {
+        let delay: DelayFn = Arc::new(|_, _| SimDuration::from_millis(30));
+        let t = InProcTransport::new(Some(delay));
+        let a: NodeId = ReplicaId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(1, 0).into();
+        let _ha = t.register(a);
+        let hb = t.register(b);
+        let start = Instant::now();
+        t.send(Envelope {
+            from: a,
+            to: b,
+            msg: Message::Noop,
+        });
+        let _ = hb.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(28));
+        t.shutdown();
+    }
+
+    #[test]
+    fn delayed_ordering_respects_due_times() {
+        // A message with a short delay overtakes one with a long delay.
+        let delay: DelayFn = Arc::new(|from, _| match from {
+            NodeId::Replica(r) if r.index == 0 => SimDuration::from_millis(80),
+            _ => SimDuration::from_millis(10),
+        });
+        let t = InProcTransport::new(Some(delay));
+        let slow: NodeId = ReplicaId::new(0, 0).into();
+        let fast: NodeId = ReplicaId::new(0, 1).into();
+        let dst: NodeId = ReplicaId::new(1, 0).into();
+        let _h1 = t.register(slow);
+        let _h2 = t.register(fast);
+        let hd = t.register(dst);
+        t.send(Envelope {
+            from: slow,
+            to: dst,
+            msg: Message::Noop,
+        });
+        t.send(Envelope {
+            from: fast,
+            to: dst,
+            msg: Message::Noop,
+        });
+        let first = hd.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(first.from, fast, "shorter delay must arrive first");
+        t.shutdown();
+    }
+
+    #[test]
+    fn disconnect_drops_messages() {
+        let t = InProcTransport::new(None);
+        let a: NodeId = ReplicaId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(0, 1).into();
+        let ha = t.register(a);
+        let hb = t.register(b);
+        t.disconnect(b);
+        ha.send(b, Message::Noop);
+        assert!(hb.inbox.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Merkle trees over transaction batches and ledger segments.
+//!
+//! Used by the ledger to fingerprint batches and by recovering replicas to
+//! verify that a downloaded ledger prefix matches a trusted root without
+//! re-reading every block (§3, "The ledger": "a recovering replica can
+//! simply read the ledger of any replica it chooses and directly verify
+//! whether the ledger can be trusted").
+
+use crate::digest::Digest;
+
+/// A Merkle tree built over a list of leaf digests.
+///
+/// Odd nodes are promoted (duplicated-last-style trees are avoided: we
+/// carry the odd node up unchanged, which keeps proofs unambiguous).
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// levels[0] = leaves, last level = [root].
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A Merkle inclusion proof for a single leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Sibling digests from leaf level upward; `None` when the node was
+    /// promoted without a sibling at that level.
+    pub path: Vec<Option<(Side, Digest)>>,
+}
+
+/// Which side a sibling sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Sibling is the left input of the parent hash.
+    Left,
+    /// Sibling is the right input of the parent hash.
+    Right,
+}
+
+impl MerkleTree {
+    /// Build a tree over `leaves`. An empty leaf list produces a tree whose
+    /// root is `Digest::ZERO`.
+    pub fn build(leaves: &[Digest]) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![Digest::ZERO]],
+            };
+        }
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                match pair {
+                    [a, b] => next.push(Digest::combine(a, b)),
+                    [a] => next.push(*a), // promote odd node
+                    _ => unreachable!(),
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True when the tree was built over no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0].len() == 1 && self.levels[0][0] == Digest::ZERO
+    }
+
+    /// Produce an inclusion proof for leaf `index`.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.levels[0].len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if i % 2 == 0 {
+                // We are a left child; sibling (if any) is to the right.
+                level.get(i + 1).map(|d| (Side::Right, *d))
+            } else {
+                Some((Side::Left, level[i - 1]))
+            };
+            path.push(sibling);
+            i /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            path,
+        })
+    }
+
+    /// Verify an inclusion proof against a root.
+    pub fn verify(root: &Digest, leaf: &Digest, proof: &MerkleProof) -> bool {
+        let mut acc = *leaf;
+        for step in &proof.path {
+            acc = match step {
+                Some((Side::Left, sib)) => Digest::combine(sib, &acc),
+                Some((Side::Right, sib)) => Digest::combine(&acc, sib),
+                None => acc, // promoted without sibling
+            };
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n)
+            .map(|i| Digest::of(&(i as u64).to_le_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_root_is_zero() {
+        let t = MerkleTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.root(), Digest::ZERO);
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        let t = MerkleTree::build(&l);
+        assert_eq!(t.root(), l[0]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn two_leaf_root_is_combined() {
+        let l = leaves(2);
+        let t = MerkleTree::build(&l);
+        assert_eq!(t.root(), Digest::combine(&l[0], &l[1]));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=33 {
+            let l = leaves(n);
+            let t = MerkleTree::build(&l);
+            for (i, leaf) in l.iter().enumerate() {
+                let p = t.prove(i).expect("proof exists");
+                assert!(
+                    MerkleTree::verify(&t.root(), leaf, &p),
+                    "n={n} leaf={i} proof failed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_for_wrong_leaf_fails() {
+        let l = leaves(8);
+        let t = MerkleTree::build(&l);
+        let p = t.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&t.root(), &l[4], &p));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let t = MerkleTree::build(&leaves(4));
+        assert!(t.prove(4).is_none());
+    }
+
+    #[test]
+    fn changing_a_leaf_changes_the_root() {
+        let mut l = leaves(9);
+        let before = MerkleTree::build(&l).root();
+        l[5] = Digest::of(b"tampered");
+        assert_ne!(MerkleTree::build(&l).root(), before);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn all_proofs_verify(n in 1usize..64, probe in any::<usize>()) {
+                let l = leaves(n);
+                let t = MerkleTree::build(&l);
+                let i = probe % n;
+                let p = t.prove(i).unwrap();
+                prop_assert!(MerkleTree::verify(&t.root(), &l[i], &p));
+                // A proof must not validate a different leaf value.
+                let fake = Digest::of(b"fake");
+                prop_assert!(!MerkleTree::verify(&t.root(), &fake, &p));
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! SHA-256 implemented from scratch per FIPS 180-4.
+//!
+//! The implementation is a streaming hasher: callers may feed input in
+//! arbitrary chunks via [`Sha256::update`] and finish with
+//! [`Sha256::finalize`]. One-shot hashing is available via [`sha256`].
+//!
+//! Correctness is pinned by the NIST/FIPS test vectors in the unit tests
+//! (empty string, "abc", the two standard multi-block vectors, and a
+//! million 'a's) plus property tests for chunking invariance.
+
+/// Initial hash values: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Streaming SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes processed so far (for the length suffix).
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill a partial block first.
+        if self.buf_len > 0 {
+            let want = 64 - self.buf_len;
+            let take = want.min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if input.is_empty() {
+                // Everything was absorbed into the partial block; do not
+                // touch the buffer again below.
+                return self;
+            }
+        }
+
+        // Whole blocks straight from the input.
+        let mut chunks = input.chunks_exact(64);
+        for block in &mut chunks {
+            // chunks_exact guarantees 64 bytes.
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+
+        // Stash the remainder.
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+        self
+    }
+
+    /// Finish hashing and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.len.wrapping_mul(8);
+
+        // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (len + 1 + zeros + 8) % 64 == 0.
+        let pad_zeros = (119 - (self.len % 64) as usize) % 64;
+        pad[1 + pad_zeros..1 + pad_zeros + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad[..1 + pad_zeros + 8]);
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// The FIPS 180-4 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // NIST / FIPS 180-4 example vectors.
+    #[test]
+    fn nist_empty() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn nist_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn nist_two_block() {
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn nist_four_block() {
+        let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex(&sha256(msg)),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn nist_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn boundary_lengths_pad_correctly() {
+        // Lengths around the 56-byte padding boundary and block boundary.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xabu8; len];
+            let once = sha256(&data);
+            let mut streaming = Sha256::new();
+            for b in &data {
+                streaming.update(std::slice::from_ref(b));
+            }
+            assert_eq!(once, streaming.finalize(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn update_returns_self_for_chaining() {
+        let mut h = Sha256::new();
+        h.update(b"ab").update(b"c");
+        assert_eq!(
+            hex(&h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Hashing is invariant under arbitrary chunking of the input.
+            #[test]
+            fn chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                   cuts in proptest::collection::vec(0usize..2048, 0..8)) {
+                let reference = sha256(&data);
+                let mut cuts: Vec<usize> =
+                    cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+                cuts.sort_unstable();
+                let mut h = Sha256::new();
+                let mut prev = 0;
+                for c in cuts {
+                    h.update(&data[prev..c]);
+                    prev = c;
+                }
+                h.update(&data[prev..]);
+                prop_assert_eq!(h.finalize(), reference);
+            }
+
+            /// Distinct inputs (almost surely) hash differently; at minimum,
+            /// flipping one bit must change the digest.
+            #[test]
+            fn bit_flip_changes_digest(mut data in proptest::collection::vec(any::<u8>(), 1..512),
+                                       idx in any::<usize>()) {
+                let original = sha256(&data);
+                let i = idx % data.len();
+                data[i] ^= 1;
+                prop_assert_ne!(sha256(&data), original);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Ledger blocks.
+
+use rdb_consensus::certificate::CommitCertificate;
+use rdb_consensus::types::SignedBatch;
+use rdb_crypto::digest::Digest;
+use rdb_crypto::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// One block: the i-th executed client batch, its proof, and the chain
+/// linkage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Position in the ledger (0 = genesis).
+    pub height: u64,
+    /// Hash of the previous block ([`Digest::ZERO`] for genesis).
+    pub parent: Digest,
+    /// The executed client batch.
+    pub batch: SignedBatch,
+    /// The commit certificate proving consensus on the batch. `None` only
+    /// for the genesis block and for protocols that do not produce
+    /// transferable certificates (Zyzzyva's speculative path, HotStuff
+    /// QCs are recorded as certificates by the driver where available).
+    pub certificate: Option<CommitCertificate>,
+    /// Digest of the replica state after executing this block.
+    pub state_digest: Digest,
+}
+
+impl Block {
+    /// The genesis block of every ledger.
+    pub fn genesis() -> Block {
+        Block {
+            height: 0,
+            parent: Digest::ZERO,
+            batch: SignedBatch::noop(rdb_common::ids::ClusterId(u16::MAX), 0),
+            certificate: None,
+            state_digest: Digest::ZERO,
+        }
+    }
+
+    /// The block's hash: binds height, parent, batch content, certificate
+    /// identity and post-state.
+    pub fn hash(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"rdb-block");
+        h.update(&self.height.to_le_bytes());
+        h.update(self.parent.as_bytes());
+        h.update(self.batch.digest().as_bytes());
+        match &self.certificate {
+            Some(c) => {
+                h.update(&[1u8]);
+                h.update(&c.cluster.0.to_le_bytes());
+                h.update(&c.round.to_le_bytes());
+                h.update(c.digest.as_bytes());
+                h.update(&(c.commits.len() as u64).to_le_bytes());
+                for cs in &c.commits {
+                    h.update(&cs.replica.cluster.0.to_le_bytes());
+                    h.update(&cs.replica.index.to_le_bytes());
+                    h.update(&cs.sig.0);
+                }
+            }
+            None => {
+                h.update(&[0u8]);
+            }
+        }
+        h.update(self.state_digest.as_bytes());
+        Digest(h.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::ids::ClusterId;
+
+    #[test]
+    fn genesis_is_stable() {
+        assert_eq!(Block::genesis().hash(), Block::genesis().hash());
+        assert_eq!(Block::genesis().height, 0);
+        assert_eq!(Block::genesis().parent, Digest::ZERO);
+    }
+
+    #[test]
+    fn hash_binds_every_field() {
+        let base = Block {
+            height: 1,
+            parent: Block::genesis().hash(),
+            batch: SignedBatch::noop(ClusterId(0), 1),
+            certificate: None,
+            state_digest: Digest::of(b"s"),
+        };
+        let h = base.hash();
+
+        let mut b = base.clone();
+        b.height = 2;
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.parent = Digest::of(b"other");
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.batch = SignedBatch::noop(ClusterId(1), 1);
+        assert_ne!(b.hash(), h);
+
+        let mut b = base.clone();
+        b.state_digest = Digest::of(b"t");
+        assert_ne!(b.hash(), h);
+    }
+}

@@ -1,0 +1,233 @@
+//! The per-node compute model.
+//!
+//! §3 of the paper: "throughput can be limited by waiting (e.g., due to
+//! message latencies) or by computational costs (e.g., costs of signing
+//! and verifying messages)". The simulator charges virtual time for both;
+//! this module prices the compute side.
+//!
+//! Default costs approximate an 8-core Skylake VM running Crypto++
+//! ED25519 / AES-CMAC / SHA-256 (§3 "Cryptography"), with a
+//! `parallelism` factor modeling how much of the multi-threaded pipeline
+//! (paper Figure 9) each protocol keeps busy. Absolute numbers need not
+//! match the paper's testbed; see EXPERIMENTS.md for the calibration.
+
+use rdb_consensus::messages::Message;
+use serde::{Deserialize, Serialize};
+
+/// Per-node compute cost model (all times in nanoseconds of single-core
+/// work; divide by `parallelism` for wall time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// Effective pipeline parallelism of the node (cores kept busy).
+    pub parallelism: f64,
+    /// Cost of producing a digital signature (ED25519 sign).
+    pub sign_ns: u64,
+    /// Cost of verifying a digital signature (ED25519 verify).
+    pub verify_ns: u64,
+    /// Cost of computing/checking a MAC (AES-CMAC stand-in).
+    pub mac_ns: u64,
+    /// Hashing/serialization cost per byte moved through the pipeline.
+    pub per_byte_ns: f64,
+    /// Fixed cost of receiving any message (dispatch, queues).
+    pub recv_ns: u64,
+    /// Fixed cost of emitting one message copy.
+    pub send_ns: u64,
+    /// Cost of executing one transaction against the store.
+    pub exec_ns_per_txn: u64,
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        ComputeModel {
+            parallelism: 1.6,
+            sign_ns: 30_000,
+            verify_ns: 60_000,
+            mac_ns: 1_000,
+            per_byte_ns: 4.0,
+            recv_ns: 8_000,
+            send_ns: 6_000,
+            exec_ns_per_txn: 2_000,
+        }
+    }
+}
+
+impl ComputeModel {
+    /// A model with a different parallelism factor (per-protocol pipeline
+    /// calibration).
+    pub fn with_parallelism(mut self, parallelism: f64) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Wall-clock nanoseconds for `work_ns` of single-core work.
+    #[inline]
+    pub fn wall(&self, work_ns: u64) -> u64 {
+        (work_ns as f64 / self.parallelism) as u64
+    }
+
+    fn bytes_cost(&self, bytes: usize) -> u64 {
+        (bytes as f64 * self.per_byte_ns) as u64
+    }
+
+    /// Single-core cost of *receiving and validating* one copy of `msg`.
+    ///
+    /// Mirrors what the protocol implementations actually validate:
+    /// batches cost one client-signature verification plus hashing;
+    /// certificates/QCs cost one verification per carried signature
+    /// (§3: threshold signatures are omitted, so certificates carry
+    /// `n - f` individual signatures that each receiver checks).
+    pub fn receive_cost(&self, msg: &Message) -> u64 {
+        let base = self.recv_ns + self.bytes_cost(msg.wire_size());
+        let crypto = match msg {
+            Message::Request(_) | Message::Forward(_) => self.mac_ns + self.verify_ns,
+            Message::PrePrepare { .. } | Message::OrderReq { .. } => {
+                self.mac_ns + self.verify_ns
+            }
+            Message::Prepare { .. }
+            | Message::Checkpoint { .. }
+            | Message::Drvc { .. }
+            | Message::LocalCommit { .. }
+            | Message::Reply { .. } => self.mac_ns,
+            Message::Commit { .. } => self.mac_ns + self.verify_ns,
+            Message::ViewChange { .. } | Message::NewView { .. } => self.mac_ns,
+            Message::GlobalShare { cert } | Message::StewardProposal { cert, .. } => {
+                // Client signature + every commit signature.
+                self.mac_ns + self.verify_ns * (1 + cert.commits.len() as u64)
+            }
+            Message::Rvc { .. } => self.verify_ns,
+            Message::SpecResponse { .. } => self.verify_ns,
+            Message::ZyzCommit { sigs, .. } => self.verify_ns * sigs.len() as u64,
+            Message::HsProposal { batch, justify, .. } => {
+                let b = if batch.is_some() { self.verify_ns } else { 0 };
+                let q = justify
+                    .as_ref()
+                    .map_or(0, |qc| self.verify_ns * qc.votes.len() as u64);
+                self.mac_ns + b + q
+            }
+            Message::HsVote { .. } => self.verify_ns,
+            Message::StewardLocalAccept { .. } => self.verify_ns,
+            Message::StewardAccept { sigs, .. } => self.verify_ns * sigs.len() as u64,
+            Message::Noop => 0,
+        };
+        base + crypto
+    }
+
+    /// Single-core cost of emitting one copy of `msg` (serialization +
+    /// session MAC). Signing is charged once per *logical* message by the
+    /// engine, not per copy.
+    pub fn send_cost(&self, msg: &Message) -> u64 {
+        self.send_ns + self.mac_ns + self.bytes_cost(msg.wire_size())
+    }
+
+    /// Whether emitting this message type involves producing a digital
+    /// signature (charged once per logical message).
+    pub fn signs_on_send(msg: &Message) -> bool {
+        matches!(
+            msg,
+            Message::Request(_)
+                | Message::Commit { .. }
+                | Message::Rvc { .. }
+                | Message::SpecResponse { .. }
+                | Message::HsVote { .. }
+                | Message::StewardLocalAccept { .. }
+        )
+    }
+
+    /// Cost of executing `txns` transactions.
+    pub fn exec_cost(&self, txns: usize) -> u64 {
+        self.exec_ns_per_txn * txns as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_consensus::certificate::{CommitCertificate, CommitSig};
+    use rdb_consensus::types::SignedBatch;
+    use rdb_common::ids::{ClusterId, ReplicaId};
+    use rdb_crypto::digest::Digest;
+    use rdb_crypto::sign::Signature;
+
+    fn model() -> ComputeModel {
+        ComputeModel::default()
+    }
+
+    #[test]
+    fn certificate_cost_scales_with_commit_count() {
+        let m = model();
+        let cert = |k: usize| {
+            let batch = SignedBatch::noop(ClusterId(0), 1);
+            Message::GlobalShare {
+                cert: CommitCertificate {
+                    cluster: ClusterId(0),
+                    round: 1,
+                    digest: batch.digest(),
+                    batch,
+                    commits: (0..k as u16)
+                        .map(|i| CommitSig {
+                            replica: ReplicaId::new(0, i),
+                            sig: Signature::default(),
+                        })
+                        .collect(),
+                },
+            }
+        };
+        let small = m.receive_cost(&cert(3));
+        let large = m.receive_cost(&cert(11));
+        assert!(large > small + 7 * m.verify_ns);
+    }
+
+    #[test]
+    fn control_messages_are_cheap() {
+        let m = model();
+        let prepare = Message::Prepare {
+            scope: rdb_consensus::messages::Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+        };
+        let commit = Message::Commit {
+            scope: rdb_consensus::messages::Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+            sig: Signature::default(),
+        };
+        // A commit costs one signature verification more than a prepare.
+        assert_eq!(
+            m.receive_cost(&commit) - m.receive_cost(&prepare),
+            m.verify_ns
+        );
+    }
+
+    #[test]
+    fn parallelism_divides_wall_time() {
+        let m = model().with_parallelism(2.0);
+        assert_eq!(m.wall(10_000), 5_000);
+    }
+
+    #[test]
+    fn signing_message_classification() {
+        let commit = Message::Commit {
+            scope: rdb_consensus::messages::Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+            sig: Signature::default(),
+        };
+        assert!(ComputeModel::signs_on_send(&commit));
+        let prepare = Message::Prepare {
+            scope: rdb_consensus::messages::Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+        };
+        assert!(!ComputeModel::signs_on_send(&prepare));
+    }
+
+    #[test]
+    fn exec_cost_linear() {
+        let m = model();
+        assert_eq!(m.exec_cost(100), 100 * m.exec_ns_per_txn);
+    }
+}

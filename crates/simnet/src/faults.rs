@@ -1,0 +1,109 @@
+//! Fault injection for the failure experiments (§4.3 of the paper).
+
+use rdb_common::ids::ReplicaId;
+use rdb_common::time::SimTime;
+
+/// A fault to inject during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Crash-stop a replica at `at`: from then on it neither receives nor
+    /// sends. Used for the single-non-primary, f-per-cluster and
+    /// primary-failure scenarios of Figure 12.
+    Crash {
+        /// The replica to crash.
+        replica: ReplicaId,
+        /// Virtual time of the crash.
+        at: SimTime,
+    },
+    /// GeoBFT-specific Byzantine behaviour (Example 2.4 case 1): the
+    /// replica participates in local replication but, when primary, never
+    /// shares certificates globally. Installed at deployment time.
+    SuppressGlobalShare {
+        /// The Byzantine replica.
+        replica: ReplicaId,
+    },
+    /// Drop every message between two replicas (asymmetric link failure /
+    /// partition building block), starting at `from_time`.
+    DropLink {
+        /// Sender side.
+        a: ReplicaId,
+        /// Receiver side.
+        b: ReplicaId,
+        /// When the link goes dark.
+        from_time: SimTime,
+    },
+}
+
+impl FaultSpec {
+    /// Convenience: crash at a given virtual second.
+    pub fn crash_at_secs(replica: ReplicaId, secs: f64) -> FaultSpec {
+        FaultSpec::Crash {
+            replica,
+            at: SimTime((secs * 1e9) as u64),
+        }
+    }
+}
+
+/// Runtime fault state consulted by the engine on every delivery.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    crashes: Vec<(ReplicaId, SimTime)>,
+    drops: Vec<(ReplicaId, ReplicaId, SimTime)>,
+}
+
+impl FaultState {
+    /// Build from specs (suppress-share faults are consumed at deployment
+    /// time by the scenario builder, not here).
+    pub fn new(specs: &[FaultSpec]) -> FaultState {
+        let mut fs = FaultState::default();
+        for s in specs {
+            match s {
+                FaultSpec::Crash { replica, at } => fs.crashes.push((*replica, *at)),
+                FaultSpec::DropLink { a, b, from_time } => {
+                    fs.drops.push((*a, *b, *from_time))
+                }
+                FaultSpec::SuppressGlobalShare { .. } => {}
+            }
+        }
+        fs
+    }
+
+    /// Is the replica crashed at `now`?
+    pub fn is_crashed(&self, r: ReplicaId, now: SimTime) -> bool {
+        self.crashes.iter().any(|(c, at)| *c == r && now >= *at)
+    }
+
+    /// Should a message from `a` to `b` be dropped at `now`?
+    pub fn is_dropped(&self, a: ReplicaId, b: ReplicaId, now: SimTime) -> bool {
+        self.drops
+            .iter()
+            .any(|(x, y, at)| *x == a && *y == b && now >= *at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_takes_effect_at_time() {
+        let r = ReplicaId::new(0, 1);
+        let fs = FaultState::new(&[FaultSpec::crash_at_secs(r, 1.0)]);
+        assert!(!fs.is_crashed(r, SimTime(999_999_999)));
+        assert!(fs.is_crashed(r, SimTime(1_000_000_000)));
+        assert!(!fs.is_crashed(ReplicaId::new(0, 2), SimTime(2_000_000_000)));
+    }
+
+    #[test]
+    fn link_drops_are_directional() {
+        let a = ReplicaId::new(0, 0);
+        let b = ReplicaId::new(1, 0);
+        let fs = FaultState::new(&[FaultSpec::DropLink {
+            a,
+            b,
+            from_time: SimTime::ZERO,
+        }]);
+        assert!(fs.is_dropped(a, b, SimTime(1)));
+        assert!(!fs.is_dropped(b, a, SimTime(1)));
+    }
+}

@@ -1,0 +1,35 @@
+//! # rdb-simnet
+//!
+//! A deterministic discrete-event simulator of a geo-distributed
+//! deployment, calibrated to the measurements in Table 1 of the paper.
+//! The protocol state machines from `rdb-consensus` run unmodified on this
+//! simulator; virtual time advances through three first-order resources:
+//!
+//! 1. **Propagation delay and bandwidth** per region pair (Table 1): each
+//!    directed region pair is a shared pipe with the measured bandwidth
+//!    and half-RTT latency, plus a per-node WAN egress aggregate and an
+//!    intra-region NIC — reproducing the "bottlenecked by the bandwidth
+//!    of the single primary" effect of §4.4.
+//! 2. **Compute** per node ([`compute::ComputeModel`]): configurable costs
+//!    for signature/MAC operations, per-message handling, hashing and
+//!    execution, processed through a per-node busy-until queue.
+//! 3. **Timers** with generation-based cancellation.
+//!
+//! [`scenario::Scenario`] wires a full deployment (replicas, closed-loop
+//! YCSB clients, faults) and returns [`scenario::RunMetrics`] with
+//! client-observed throughput/latency and message statistics — the raw
+//! material for every figure reproduction in `rdb-bench`.
+
+pub mod compute;
+pub mod engine;
+pub mod faults;
+pub mod scenario;
+pub mod stats;
+pub mod topology;
+
+pub use compute::ComputeModel;
+pub use engine::Engine;
+pub use faults::FaultSpec;
+pub use scenario::{RunMetrics, Scenario};
+pub use stats::NetStats;
+pub use topology::Topology;

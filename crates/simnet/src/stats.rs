@@ -1,0 +1,124 @@
+//! Measurement-window statistics collected by the engine.
+
+use rdb_common::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Message and decision statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Messages whose source and destination share a region.
+    pub msgs_local: u64,
+    /// Messages crossing regions.
+    pub msgs_global: u64,
+    /// Bytes on intra-region links.
+    pub bytes_local: u64,
+    /// Bytes on inter-region links.
+    pub bytes_global: u64,
+    /// Per-label (message kind) counts and bytes.
+    pub per_label: HashMap<&'static str, (u64, u64)>,
+    /// Client-observed completed batches.
+    pub completed_batches: u64,
+    /// Client-observed completed transactions.
+    pub completed_txns: u64,
+    /// Sum of client request latencies (for the mean).
+    pub latency_sum: SimDuration,
+    /// All request latencies (for percentiles), nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Decisions executed by the observation replica (replica 0.0).
+    pub observer_decisions: u64,
+    /// Transactions executed by the observation replica.
+    pub observer_txns: u64,
+}
+
+impl NetStats {
+    /// Record a message send.
+    pub fn on_message(&mut self, label: &'static str, bytes: usize, local: bool) {
+        if local {
+            self.msgs_local += 1;
+            self.bytes_local += bytes as u64;
+        } else {
+            self.msgs_global += 1;
+            self.bytes_global += bytes as u64;
+        }
+        let e = self.per_label.entry(label).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes as u64;
+    }
+
+    /// Record a completed client request.
+    pub fn on_complete(&mut self, txns: usize, submitted: SimTime, now: SimTime) {
+        self.completed_batches += 1;
+        self.completed_txns += txns as u64;
+        let lat = now - submitted;
+        self.latency_sum += lat;
+        self.latencies_ns.push(lat.as_nanos());
+    }
+
+    /// Mean client latency.
+    pub fn avg_latency(&self) -> SimDuration {
+        if self.completed_batches == 0 {
+            SimDuration::ZERO
+        } else {
+            self.latency_sum / self.completed_batches
+        }
+    }
+
+    /// Latency percentile (0.0 ..= 1.0).
+    pub fn latency_percentile(&self, p: f64) -> SimDuration {
+        if self.latencies_ns.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        SimDuration(v[idx.min(v.len() - 1)])
+    }
+
+    /// Total messages.
+    pub fn msgs_total(&self) -> u64 {
+        self.msgs_local + self.msgs_global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accounting_splits_local_global() {
+        let mut s = NetStats::default();
+        s.on_message("prepare", 250, true);
+        s.on_message("global-share", 6400, false);
+        s.on_message("prepare", 250, true);
+        assert_eq!(s.msgs_local, 2);
+        assert_eq!(s.msgs_global, 1);
+        assert_eq!(s.bytes_local, 500);
+        assert_eq!(s.bytes_global, 6400);
+        assert_eq!(s.per_label["prepare"], (2, 500));
+        assert_eq!(s.msgs_total(), 3);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut s = NetStats::default();
+        for ms in [10u64, 20, 30, 40] {
+            s.on_complete(
+                100,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_millis(ms),
+            );
+        }
+        assert_eq!(s.completed_batches, 4);
+        assert_eq!(s.completed_txns, 400);
+        assert_eq!(s.avg_latency(), SimDuration::from_millis(25));
+        assert_eq!(s.latency_percentile(0.0), SimDuration::from_millis(10));
+        assert_eq!(s.latency_percentile(1.0), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.avg_latency(), SimDuration::ZERO);
+        assert_eq!(s.latency_percentile(0.5), SimDuration::ZERO);
+    }
+}

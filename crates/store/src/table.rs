@@ -1,0 +1,397 @@
+//! The versioned key-value table.
+
+use crate::ops::{ExecOutcome, Operation, TxnEffect};
+use rdb_crypto::digest::Digest;
+use rdb_crypto::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fixed-size record value. YCSB records carry ten 100-byte fields; the
+/// paper batches 100 transactions into 5.4 kB pre-prepares, implying ~52 B
+/// of payload per transaction on the wire, so we model a compact 24-byte
+/// field update as the stored value (see `rdb_common::wire::TXN_BYTES`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Value(pub [u8; 24]);
+
+impl Value {
+    /// Deterministically derive a value from a u64 (used by the workload
+    /// generator and tests).
+    pub fn from_u64(x: u64) -> Value {
+        let mut out = [0u8; 24];
+        out[..8].copy_from_slice(&x.to_le_bytes());
+        out[8..16].copy_from_slice(&x.wrapping_mul(0x9e3779b97f4a7c15).to_le_bytes());
+        out[16..24].copy_from_slice(&x.rotate_left(17).to_le_bytes());
+        Value(out)
+    }
+
+    /// Interpret the first 8 bytes as a little-endian counter.
+    pub fn counter(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Replace the embedded counter.
+    pub fn with_counter(mut self, c: u64) -> Value {
+        self.0[..8].copy_from_slice(&c.to_le_bytes());
+        self
+    }
+}
+
+/// Execution statistics maintained by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Operations applied, by class.
+    pub writes: u64,
+    /// Read operations served.
+    pub reads: u64,
+    /// Read-modify-writes served.
+    pub rmws: u64,
+    /// Inserts applied.
+    pub inserts: u64,
+    /// Scans served.
+    pub scans: u64,
+    /// No-ops executed.
+    pub noops: u64,
+}
+
+impl StoreStats {
+    /// Total operations executed.
+    pub fn total(&self) -> u64 {
+        self.writes + self.reads + self.rmws + self.inserts + self.scans + self.noops
+    }
+}
+
+/// The in-memory YCSB table: a map from `u64` record keys to [`Value`]s
+/// plus a monotone version counter per record.
+///
+/// The store maintains an *incremental* state fingerprint: a running XOR of
+/// per-record digests. XOR-accumulation makes `state_digest` O(1) while
+/// still changing whenever any record differs — two stores have equal
+/// digests iff they hold the same records at the same versions (up to hash
+/// collisions, which SHA-256 makes negligible).
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    records: HashMap<u64, (Value, u64)>, // key -> (value, version)
+    accum: [u8; 32],
+    stats: StoreStats,
+    /// Number of transactions applied (batch items), used for checkpoints.
+    applied_txns: u64,
+}
+
+impl KvStore {
+    /// Create an empty store.
+    pub fn new() -> KvStore {
+        KvStore {
+            records: HashMap::new(),
+            accum: [0u8; 32],
+            stats: StoreStats::default(),
+            applied_txns: 0,
+        }
+    }
+
+    /// Create a store preloaded with `record_count` records, mirroring the
+    /// paper's initialization ("each replica is initialized with an
+    /// identical copy of the YCSB table" with 600 k active records).
+    pub fn with_ycsb_records(record_count: u64) -> KvStore {
+        let mut store = KvStore::new();
+        store.records.reserve(record_count as usize);
+        for key in 0..record_count {
+            store.insert_raw(key, Value::from_u64(key));
+        }
+        store
+    }
+
+    fn record_digest(key: u64, value: &Value, version: u64) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&key.to_le_bytes());
+        h.update(&value.0);
+        h.update(&version.to_le_bytes());
+        h.finalize()
+    }
+
+    fn xor_accum(&mut self, d: &[u8; 32]) {
+        for (a, b) in self.accum.iter_mut().zip(d.iter()) {
+            *a ^= b;
+        }
+    }
+
+    fn insert_raw(&mut self, key: u64, value: Value) {
+        if let Some((old_v, old_ver)) = self.records.get(&key).copied() {
+            let old_d = Self::record_digest(key, &old_v, old_ver);
+            self.xor_accum(&old_d);
+            let new_ver = old_ver + 1;
+            let new_d = Self::record_digest(key, &value, new_ver);
+            self.xor_accum(&new_d);
+            self.records.insert(key, (value, new_ver));
+        } else {
+            let new_d = Self::record_digest(key, &value, 1);
+            self.xor_accum(&new_d);
+            self.records.insert(key, (value, 1));
+        }
+    }
+
+    /// Number of records currently stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Read a record.
+    pub fn get(&self, key: u64) -> Option<Value> {
+        self.records.get(&key).map(|(v, _)| *v)
+    }
+
+    /// Version of a record (1 on first write; None if absent).
+    pub fn version(&self, key: u64) -> Option<u64> {
+        self.records.get(&key).map(|(_, ver)| *ver)
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Total transactions applied via [`KvStore::execute`].
+    pub fn applied_txns(&self) -> u64 {
+        self.applied_txns
+    }
+
+    /// O(1) fingerprint of the full store state. Identical sequences of
+    /// [`KvStore::execute`] calls from identical initial states yield
+    /// identical digests.
+    pub fn state_digest(&self) -> Digest {
+        // Mix in the record count so an empty store and a store whose
+        // accumulated digests cancelled out (impossible in practice) differ.
+        let mut h = Sha256::new();
+        h.update(&self.accum);
+        h.update(&(self.records.len() as u64).to_le_bytes());
+        Digest(h.finalize())
+    }
+
+    /// Execute one operation, returning its outcome.
+    pub fn execute(&mut self, op: &Operation) -> ExecOutcome {
+        self.applied_txns += 1;
+        match op {
+            Operation::Write { key, value } => {
+                self.insert_raw(*key, *value);
+                self.stats.writes += 1;
+                ExecOutcome::Done
+            }
+            Operation::Read { key } => {
+                self.stats.reads += 1;
+                ExecOutcome::ReadValue(self.get(*key))
+            }
+            Operation::Rmw { key, delta } => {
+                self.stats.rmws += 1;
+                let current = self.get(*key).unwrap_or_default();
+                let next = current.counter().wrapping_add(*delta);
+                self.insert_raw(*key, current.with_counter(next));
+                ExecOutcome::Counter(next)
+            }
+            Operation::Insert { key, value } => {
+                self.insert_raw(*key, *value);
+                self.stats.inserts += 1;
+                ExecOutcome::Done
+            }
+            Operation::Scan { key, count } => {
+                self.stats.scans += 1;
+                let mut touched = 0u32;
+                for k in *key..key.saturating_add(*count as u64) {
+                    if self.records.contains_key(&k) {
+                        touched += 1;
+                    }
+                }
+                ExecOutcome::Scanned(touched)
+            }
+            Operation::NoOp => {
+                self.stats.noops += 1;
+                ExecOutcome::Done
+            }
+        }
+    }
+
+    /// Execute a batch of operations, producing the combined effect.
+    pub fn execute_batch(&mut self, ops: &[Operation]) -> TxnEffect {
+        TxnEffect {
+            outcomes: ops.iter().map(|op| self.execute(op)).collect(),
+        }
+    }
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ycsb_initialization_preloads_records() {
+        let s = KvStore::with_ycsb_records(1000);
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.get(0), Some(Value::from_u64(0)));
+        assert_eq!(s.get(999), Some(Value::from_u64(999)));
+        assert_eq!(s.get(1000), None);
+        assert_eq!(s.version(5), Some(1));
+    }
+
+    #[test]
+    fn write_bumps_version_and_value() {
+        let mut s = KvStore::with_ycsb_records(10);
+        s.execute(&Operation::Write {
+            key: 3,
+            value: Value::from_u64(77),
+        });
+        assert_eq!(s.get(3), Some(Value::from_u64(77)));
+        assert_eq!(s.version(3), Some(2));
+        assert_eq!(s.stats().writes, 1);
+    }
+
+    #[test]
+    fn rmw_increments_counter() {
+        let mut s = KvStore::new();
+        let out = s.execute(&Operation::Rmw { key: 9, delta: 5 });
+        assert_eq!(out, ExecOutcome::Counter(5));
+        let out = s.execute(&Operation::Rmw { key: 9, delta: 2 });
+        assert_eq!(out, ExecOutcome::Counter(7));
+        assert_eq!(s.get(9).unwrap().counter(), 7);
+    }
+
+    #[test]
+    fn scan_counts_existing_records() {
+        let mut s = KvStore::with_ycsb_records(10);
+        let out = s.execute(&Operation::Scan { key: 5, count: 10 });
+        assert_eq!(out, ExecOutcome::Scanned(5));
+    }
+
+    #[test]
+    fn read_returns_value_or_none() {
+        let mut s = KvStore::with_ycsb_records(2);
+        assert_eq!(
+            s.execute(&Operation::Read { key: 1 }),
+            ExecOutcome::ReadValue(Some(Value::from_u64(1)))
+        );
+        assert_eq!(
+            s.execute(&Operation::Read { key: 5 }),
+            ExecOutcome::ReadValue(None)
+        );
+        assert_eq!(s.stats().reads, 2);
+    }
+
+    #[test]
+    fn state_digest_tracks_content_not_history_path() {
+        // Same final content reached through different write orders on
+        // *different keys* must agree (same per-key versions).
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        a.execute(&Operation::Write {
+            key: 1,
+            value: Value::from_u64(10),
+        });
+        a.execute(&Operation::Write {
+            key: 2,
+            value: Value::from_u64(20),
+        });
+        b.execute(&Operation::Write {
+            key: 2,
+            value: Value::from_u64(20),
+        });
+        b.execute(&Operation::Write {
+            key: 1,
+            value: Value::from_u64(10),
+        });
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn state_digest_detects_divergence() {
+        let mut a = KvStore::with_ycsb_records(100);
+        let mut b = a.clone();
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.execute(&Operation::Write {
+            key: 1,
+            value: Value::from_u64(999),
+        });
+        assert_ne!(a.state_digest(), b.state_digest());
+        // Overwriting with the same value still differs: version moved.
+        b.execute(&Operation::Write {
+            key: 1,
+            value: Value::from_u64(1),
+        });
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn noop_only_counts() {
+        let mut s = KvStore::new();
+        let d = s.state_digest();
+        assert_eq!(s.execute(&Operation::NoOp), ExecOutcome::Done);
+        assert_eq!(s.state_digest(), d);
+        assert_eq!(s.stats().noops, 1);
+        assert_eq!(s.applied_txns(), 1);
+    }
+
+    #[test]
+    fn batch_execution_matches_sequential() {
+        let ops = vec![
+            Operation::Write {
+                key: 1,
+                value: Value::from_u64(5),
+            },
+            Operation::Rmw { key: 1, delta: 3 },
+            Operation::Read { key: 1 },
+        ];
+        let mut batched = KvStore::new();
+        let effect = batched.execute_batch(&ops);
+        let mut seq = KvStore::new();
+        let outcomes: Vec<_> = ops.iter().map(|op| seq.execute(op)).collect();
+        assert_eq!(effect.outcomes, outcomes);
+        assert_eq!(batched.state_digest(), seq.state_digest());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_op() -> impl Strategy<Value = Operation> {
+            prop_oneof![
+                (0u64..64, any::<u64>()).prop_map(|(key, v)| Operation::Write {
+                    key,
+                    value: Value::from_u64(v)
+                }),
+                (0u64..64).prop_map(|key| Operation::Read { key }),
+                (0u64..64, 0u64..100).prop_map(|(key, delta)| Operation::Rmw { key, delta }),
+                Just(Operation::NoOp),
+            ]
+        }
+
+        proptest! {
+            /// Determinism: replaying the same operations on two fresh
+            /// stores yields identical outcomes and state digests.
+            #[test]
+            fn replay_determinism(ops in proptest::collection::vec(arb_op(), 0..200)) {
+                let mut a = KvStore::with_ycsb_records(64);
+                let mut b = KvStore::with_ycsb_records(64);
+                let ra: Vec<_> = ops.iter().map(|o| a.execute(o)).collect();
+                let rb: Vec<_> = ops.iter().map(|o| b.execute(o)).collect();
+                prop_assert_eq!(ra, rb);
+                prop_assert_eq!(a.state_digest(), b.state_digest());
+            }
+
+            /// The digest changes on every write to a preloaded store.
+            #[test]
+            fn digest_moves_on_writes(key in 0u64..64, v in any::<u64>()) {
+                let mut s = KvStore::with_ycsb_records(64);
+                let before = s.state_digest();
+                s.execute(&Operation::Write { key, value: Value::from_u64(v) });
+                prop_assert_ne!(s.state_digest(), before);
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! YCSB workload configuration and batch sources.
+
+use crate::zipfian::Zipfian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdb_common::ids::ClientId;
+use rdb_consensus::clients::BatchSource;
+use rdb_consensus::types::{ClientBatch, Transaction};
+use rdb_store::{Operation, Value};
+use serde::{Deserialize, Serialize};
+
+/// Operation mix. The paper's evaluation uses pure writes ("we use write
+/// queries, as those are typically more costly than read-only queries");
+/// other mixes are provided for the examples and extension experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Fraction of writes (update existing record).
+    pub write: f64,
+    /// Fraction of reads.
+    pub read: f64,
+    /// Fraction of read-modify-writes.
+    pub rmw: f64,
+}
+
+impl OpMix {
+    /// The paper's write-only workload.
+    pub const WRITE_ONLY: OpMix = OpMix {
+        write: 1.0,
+        read: 0.0,
+        rmw: 0.0,
+    };
+
+    /// YCSB workload A (50/50 read/update).
+    pub const YCSB_A: OpMix = OpMix {
+        write: 0.5,
+        read: 0.5,
+        rmw: 0.0,
+    };
+
+    /// YCSB workload F (read-modify-write heavy).
+    pub const YCSB_F: OpMix = OpMix {
+        write: 0.0,
+        read: 0.5,
+        rmw: 0.5,
+    };
+}
+
+/// YCSB workload parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YcsbConfig {
+    /// Active record set (paper: 600 000).
+    pub record_count: u64,
+    /// Transactions per client batch (paper default: 100).
+    pub batch_size: usize,
+    /// Zipfian skew (YCSB default 0.99).
+    pub theta: f64,
+    /// Operation mix.
+    pub mix: OpMix,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            record_count: 600_000,
+            batch_size: 100,
+            theta: Zipfian::YCSB_THETA,
+            mix: OpMix::WRITE_ONLY,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// Small configuration for unit/integration tests (1 k records,
+    /// batches of 10).
+    pub fn small() -> YcsbConfig {
+        YcsbConfig {
+            record_count: 1_000,
+            batch_size: 10,
+            theta: Zipfian::YCSB_THETA,
+            mix: OpMix::WRITE_ONLY,
+        }
+    }
+
+    /// Copy with a different batch size (Figure 13 sweeps 10..300).
+    pub fn with_batch_size(mut self, batch_size: usize) -> YcsbConfig {
+        self.batch_size = batch_size;
+        self
+    }
+}
+
+/// A deterministic per-client YCSB transaction stream.
+#[derive(Debug)]
+pub struct YcsbWorkload {
+    cfg: YcsbConfig,
+    zipf: Zipfian,
+    rng: StdRng,
+    client: ClientId,
+    next_txn_seq: u64,
+}
+
+impl YcsbWorkload {
+    /// Build the stream for one client. The RNG seed mixes the deployment
+    /// seed with the client identity so streams are independent but
+    /// reproducible.
+    pub fn new(cfg: YcsbConfig, client: ClientId, seed: u64) -> YcsbWorkload {
+        let client_tag =
+            (client.cluster.0 as u64) << 48 | (client.index as u64) << 8 | 0x5eed;
+        let zipf = Zipfian::new(cfg.record_count, cfg.theta);
+        YcsbWorkload {
+            cfg,
+            zipf,
+            rng: StdRng::seed_from_u64(seed ^ client_tag),
+            client,
+            next_txn_seq: 0,
+        }
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self) -> Transaction {
+        let key = self.zipf.sample(&mut self.rng);
+        let roll: f64 = self.rng.gen();
+        let mix = self.cfg.mix;
+        let op = if roll < mix.write {
+            Operation::Write {
+                key,
+                value: Value::from_u64(self.rng.gen()),
+            }
+        } else if roll < mix.write + mix.read {
+            Operation::Read { key }
+        } else if roll < mix.write + mix.read + mix.rmw {
+            Operation::Rmw {
+                key,
+                delta: self.rng.gen_range(1..100),
+            }
+        } else {
+            Operation::Write {
+                key,
+                value: Value::from_u64(self.rng.gen()),
+            }
+        };
+        let seq = self.next_txn_seq;
+        self.next_txn_seq += 1;
+        Transaction {
+            client: self.client,
+            seq,
+            op,
+        }
+    }
+
+    /// Generate the next batch (the consensus proposal unit).
+    pub fn next_batch(&mut self, batch_seq: u64) -> ClientBatch {
+        ClientBatch {
+            client: self.client,
+            batch_seq,
+            txns: (0..self.cfg.batch_size).map(|_| self.next_txn()).collect(),
+        }
+    }
+
+    /// Convert into the [`BatchSource`] closure the consensus clients
+    /// consume.
+    pub fn into_source(mut self) -> BatchSource {
+        Box::new(move |batch_seq| self.next_batch(batch_seq))
+    }
+}
+
+/// Convenience: build a [`BatchSource`] directly.
+pub fn batch_source(cfg: YcsbConfig, client: ClientId, seed: u64) -> BatchSource {
+    YcsbWorkload::new(cfg, client, seed).into_source()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_configured_size_and_client() {
+        let client = ClientId::new(1, 3);
+        let mut w = YcsbWorkload::new(YcsbConfig::small(), client, 7);
+        let b = w.next_batch(0);
+        assert_eq!(b.txns.len(), 10);
+        assert_eq!(b.client, client);
+        assert!(b.txns.iter().all(|t| t.client == client));
+        // Sequences are dense within the stream.
+        let seqs: Vec<u64> = b.txns.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn write_only_mix_produces_only_writes() {
+        let mut w = YcsbWorkload::new(YcsbConfig::small(), ClientId::new(0, 0), 1);
+        for _ in 0..200 {
+            assert!(matches!(w.next_txn().op, Operation::Write { .. }));
+        }
+    }
+
+    #[test]
+    fn ycsb_a_mix_is_roughly_half_reads() {
+        let cfg = YcsbConfig {
+            mix: OpMix::YCSB_A,
+            ..YcsbConfig::small()
+        };
+        let mut w = YcsbWorkload::new(cfg, ClientId::new(0, 0), 2);
+        let mut reads = 0;
+        let total = 10_000;
+        for _ in 0..total {
+            if matches!(w.next_txn().op, Operation::Read { .. }) {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / total as f64;
+        assert!((0.45..0.55).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn keys_stay_in_active_set() {
+        let cfg = YcsbConfig {
+            record_count: 500,
+            ..YcsbConfig::small()
+        };
+        let mut w = YcsbWorkload::new(cfg, ClientId::new(0, 0), 3);
+        for _ in 0..1_000 {
+            let key = w.next_txn().op.primary_key().unwrap();
+            assert!(key < 500);
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_client_distinct() {
+        let a1: Vec<_> = {
+            let mut w = YcsbWorkload::new(YcsbConfig::small(), ClientId::new(0, 1), 7);
+            (0..20).map(|_| w.next_txn().op).collect()
+        };
+        let a2: Vec<_> = {
+            let mut w = YcsbWorkload::new(YcsbConfig::small(), ClientId::new(0, 1), 7);
+            (0..20).map(|_| w.next_txn().op).collect()
+        };
+        let b: Vec<_> = {
+            let mut w = YcsbWorkload::new(YcsbConfig::small(), ClientId::new(0, 2), 7);
+            (0..20).map(|_| w.next_txn().op).collect()
+        };
+        assert_eq!(a1, a2, "same client+seed => same stream");
+        assert_ne!(a1, b, "different clients => different streams");
+    }
+
+    #[test]
+    fn source_closure_matches_workload() {
+        let client = ClientId::new(0, 5);
+        let mut direct = YcsbWorkload::new(YcsbConfig::small(), client, 11);
+        let mut source = batch_source(YcsbConfig::small(), client, 11);
+        assert_eq!(direct.next_batch(0), source(0));
+        assert_eq!(direct.next_batch(1), source(1));
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = YcsbConfig::default();
+        assert_eq!(cfg.record_count, 600_000);
+        assert_eq!(cfg.batch_size, 100);
+        assert_eq!(cfg.mix, OpMix::WRITE_ONLY);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Zipfian key-selection distribution of YCSB.
+//!
+//! Implements the method of Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases" (SIGMOD '94) — the same algorithm
+//! the YCSB `ZipfianGenerator` uses. Items are `0..n`, item popularity is
+//! proportional to `1 / rank^theta`, and YCSB's scrambling step (hashing
+//! the rank) spreads hot keys across the key space, giving the "uniform
+//! Zipfian distribution" the paper mentions.
+
+use rand::Rng;
+
+/// Zipfian generator over `0..n` with skew `theta` (YCSB default 0.99).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+    /// Scramble ranks across the key space (YCSB's
+    /// `ScrambledZipfianGenerator` behaviour).
+    scrambled: bool,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for the sizes we use; cached because simulations build one
+    // generator per client instance over the same 600 k key space (YCSB
+    // caches this value the same way).
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), f64>>> = OnceLock::new();
+    let key = (n, theta.to_bits());
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(v) = cache.lock().expect("zeta cache").get(&key) {
+        return *v;
+    }
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    cache.lock().expect("zeta cache").insert(key, sum);
+    sum
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const YCSB_THETA: f64 = 0.99;
+
+    /// Build a generator over `0..n` with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+            scrambled: true,
+        }
+    }
+
+    /// YCSB-default generator (`theta = 0.99`, scrambled).
+    pub fn ycsb(n: u64) -> Zipfian {
+        Zipfian::new(n, Self::YCSB_THETA)
+    }
+
+    /// Disable rank scrambling (rank 0 = hottest key), useful for testing
+    /// the skew itself.
+    pub fn unscrambled(mut self) -> Zipfian {
+        self.scrambled = false;
+        self
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw the next key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scrambled {
+            // FNV-style scramble, as in YCSB's ScrambledZipfian.
+            fnv1a_64(rank) % self.n
+        } else {
+            rank
+        }
+    }
+
+    /// The probability mass of the hottest item (rank 0):
+    /// `1 / zeta(n, theta)`.
+    pub fn hottest_mass(&self) -> f64 {
+        1.0 / self.zetan
+    }
+
+    /// Internal zeta(2) accessor used by tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+fn fnv1a_64(x: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    for b in x.to_le_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::ycsb(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn unscrambled_rank0_is_hottest() {
+        let z = Zipfian::new(1000, 0.99).unscrambled();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let draws = 200_000;
+        for _ in 0..draws {
+            *counts.entry(z.sample(&mut rng)).or_default() += 1;
+        }
+        let hottest = *counts.get(&0).unwrap_or(&0) as f64 / draws as f64;
+        let expected = z.hottest_mass();
+        assert!(
+            (hottest - expected).abs() < 0.01,
+            "hottest mass {hottest:.4} vs expected {expected:.4}"
+        );
+        // Monotone decreasing head: rank 0 > rank 1 > rank 5.
+        assert!(counts[&0] > counts[&1]);
+        assert!(counts[&1] > counts[&5]);
+    }
+
+    #[test]
+    fn theta_zero_is_near_uniform() {
+        let z = Zipfian::new(100, 0.0).unscrambled();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u64; 100];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let expected = draws as f64 / 100.0;
+        for (i, c) in counts.iter().enumerate() {
+            let dev = (*c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "key {i} deviates {dev:.2} from uniform");
+        }
+    }
+
+    #[test]
+    fn scrambling_spreads_the_head() {
+        let z = Zipfian::ycsb(1000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(z.sample(&mut rng)).or_default() += 1;
+        }
+        // The hottest scrambled key is fnv(0) % 1000, not key 0.
+        let hottest_key = counts.iter().max_by_key(|(_, c)| **c).map(|(k, _)| *k);
+        assert_eq!(hottest_key, Some(fnv1a_64(0) % 1000));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipfian::ycsb(600_000);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_items_rejected() {
+        let _ = Zipfian::new(0, 0.5);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn always_in_range(n in 1u64..10_000, theta in 0.0f64..0.99, seed in any::<u64>()) {
+                let z = Zipfian::new(n, theta);
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..256 {
+                    prop_assert!(z.sample(&mut rng) < n);
+                }
+            }
+        }
+    }
+}

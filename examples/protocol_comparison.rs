@@ -1,0 +1,39 @@
+//! Run all five consensus protocols on the same geo-distributed workload
+//! and print a side-by-side comparison — a miniature of the paper's
+//! evaluation (§4).
+//!
+//! ```bash
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use rdb_consensus::config::ProtocolKind;
+use rdb_simnet::Scenario;
+
+fn main() {
+    println!("4 regions x 7 replicas, YCSB write-only, batch 100, Table 1 network\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "protocol", "txn/s", "latency(s)", "dec/s", "local msg/dec", "global msg/dec"
+    );
+
+    let mut best: Option<(String, f64)> = None;
+    for kind in ProtocolKind::ALL {
+        let mut s = Scenario::paper(kind, 4, 7).quick();
+        s.logical_clients = 40_000;
+        let m = s.run();
+        println!(
+            "{:<10} {:>12.0} {:>12.3} {:>12.1} {:>14.1} {:>14.1}",
+            m.protocol,
+            m.throughput_txn_s,
+            m.avg_latency_s,
+            m.decisions_per_s,
+            m.msgs_local_per_decision,
+            m.msgs_global_per_decision
+        );
+        if best.as_ref().is_none_or(|(_, t)| m.throughput_txn_s > *t) {
+            best = Some((m.protocol.clone(), m.throughput_txn_s));
+        }
+    }
+    let (winner, _) = best.expect("ran protocols");
+    println!("\nwinner at geo scale: {winner} (the paper's Figure 10/11 result)");
+}

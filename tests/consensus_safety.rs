@@ -1,0 +1,120 @@
+//! Cross-crate integration: every protocol, run on the discrete-event
+//! simulator with *real* execution against preloaded YCSB stores and
+//! per-replica ledgers, must satisfy the paper's consensus definition
+//! (Definition 2.2 / Theorem 2.8):
+//!
+//! * **termination** — non-faulty replicas keep executing transactions;
+//! * **non-divergence** — all non-faulty replicas execute the same
+//!   transactions in the same order (identical ledger prefixes and
+//!   identical state digests at equal heights).
+
+use rdb_consensus::config::{ExecMode, ProtocolKind};
+use rdb_ledger::Ledger;
+use rdb_simnet::Scenario;
+use rdb_workload::ycsb::YcsbConfig;
+use std::collections::HashMap;
+
+fn run_with_ledgers(
+    kind: ProtocolKind,
+    z: usize,
+    n: usize,
+) -> (f64, HashMap<rdb_common::ids::ReplicaId, Ledger>) {
+    let mut s = Scenario::paper(kind, z, n).quick();
+    s.logical_clients = 2_000;
+    s.ycsb = YcsbConfig {
+        record_count: 500,
+        batch_size: 20,
+        ..YcsbConfig::default()
+    };
+    s.cfg.batch_size = 20;
+    s.cfg.exec_mode = ExecMode::Real;
+    s.real_exec_records = 500;
+    s.track_ledgers = true;
+    let (metrics, ledgers) = s.run_full();
+    (metrics.throughput_txn_s, ledgers.expect("tracked"))
+}
+
+/// Shared safety check: common prefix equality across all replicas.
+fn assert_common_prefix(ledgers: &HashMap<rdb_common::ids::ReplicaId, Ledger>, min_blocks: u64) {
+    let common = ledgers
+        .values()
+        .map(|l| l.head_height())
+        .min()
+        .expect("non-empty");
+    assert!(
+        common >= min_blocks,
+        "common prefix too short: {common} < {min_blocks}"
+    );
+    let reference = ledgers.values().next().expect("non-empty");
+    for (rid, ledger) in ledgers {
+        ledger.verify(None).expect("internally consistent chain");
+        for h in 1..=common {
+            let a = reference.block(h).expect("height in range");
+            let b = ledger.block(h).expect("height in range");
+            assert_eq!(
+                a.hash(),
+                b.hash(),
+                "divergence at height {h} on replica {rid}"
+            );
+            // Determinism of execution: equal post-state digests.
+            assert_eq!(a.state_digest, b.state_digest, "state fork at {h}");
+        }
+    }
+}
+
+#[test]
+fn geobft_terminates_and_does_not_diverge() {
+    let (tps, ledgers) = run_with_ledgers(ProtocolKind::GeoBft, 2, 4);
+    assert!(tps > 0.0, "no progress");
+    // Each round appends z = 2 blocks; expect several rounds.
+    assert_common_prefix(&ledgers, 4);
+}
+
+#[test]
+fn pbft_terminates_and_does_not_diverge() {
+    let (tps, ledgers) = run_with_ledgers(ProtocolKind::Pbft, 2, 4);
+    assert!(tps > 0.0, "no progress");
+    assert_common_prefix(&ledgers, 4);
+}
+
+#[test]
+fn zyzzyva_terminates_and_does_not_diverge() {
+    let (tps, ledgers) = run_with_ledgers(ProtocolKind::Zyzzyva, 1, 4);
+    assert!(tps > 0.0, "no progress");
+    assert_common_prefix(&ledgers, 4);
+}
+
+#[test]
+fn hotstuff_terminates_and_does_not_diverge() {
+    let (tps, ledgers) = run_with_ledgers(ProtocolKind::HotStuff, 2, 4);
+    assert!(tps > 0.0, "no progress");
+    assert_common_prefix(&ledgers, 4);
+}
+
+#[test]
+fn steward_terminates_and_does_not_diverge() {
+    let (tps, ledgers) = run_with_ledgers(ProtocolKind::Steward, 2, 4);
+    assert!(tps > 0.0, "no progress");
+    assert_common_prefix(&ledgers, 4);
+}
+
+#[test]
+fn geobft_three_clusters_orders_rounds_identically() {
+    let (_, ledgers) = run_with_ledgers(ProtocolKind::GeoBft, 3, 4);
+    assert_common_prefix(&ledgers, 6);
+    // GeoBFT block order within a round follows cluster ids (§2.4): the
+    // i-th block of a round originates from cluster (i mod z) — verify on
+    // one ledger via the batch's client cluster (no-ops carry synthetic
+    // clients of the proposing cluster).
+    let ledger = ledgers.values().next().expect("non-empty");
+    let common = ledger.head_height();
+    let z = 3u64;
+    for h in 1..=common {
+        let block = ledger.block(h).expect("in range");
+        let expected_cluster = ((h - 1) % z) as u16;
+        assert_eq!(
+            block.batch.batch.client.cluster.0, expected_cluster,
+            "block {h} out of cluster order"
+        );
+    }
+}
