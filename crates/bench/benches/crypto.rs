@@ -64,5 +64,11 @@ fn bench_merkle(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_sign_verify, bench_merkle);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_sign_verify,
+    bench_merkle
+);
 criterion_main!(benches);

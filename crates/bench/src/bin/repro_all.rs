@@ -29,9 +29,9 @@ fn main() {
         if quick {
             cmd.arg("--quick");
         }
-        let status = cmd.status().unwrap_or_else(|e| {
-            panic!("failed to launch {bin}: {e} (build with --release first)")
-        });
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e} (build with --release first)"));
         assert!(status.success(), "{bin} failed");
     }
     println!();

@@ -15,6 +15,14 @@ use rdb_simnet::topology::{Topology, TABLE1_BW_MBIT, TABLE1_RTT_MS};
 fn main() {
     let regions = Region::PAPER_ORDER;
     let topo = Topology::paper(&regions);
+    assert_eq!(TABLE1_RTT_MS.len(), regions.len(), "RTT matrix rows");
+    assert_eq!(TABLE1_RTT_MS[0].len(), regions.len(), "RTT matrix columns");
+    assert_eq!(TABLE1_BW_MBIT.len(), regions.len(), "bandwidth matrix rows");
+    assert_eq!(
+        TABLE1_BW_MBIT[0].len(),
+        regions.len(),
+        "bandwidth matrix columns"
+    );
 
     println!("==== Table 1: ping round-trip times (ms) ====");
     print!("{:>10}", "");
@@ -24,13 +32,13 @@ fn main() {
     println!();
     for (i, r) in regions.iter().enumerate() {
         print!("{:>10}", r.to_string());
-        for j in 0..regions.len() {
+        for (j, rtt) in TABLE1_RTT_MS[i].iter().enumerate() {
             if j < i {
                 print!("{:>9}", "");
             } else if i == j {
                 print!("{:>9}", "<=1");
             } else {
-                print!("{:>9.0}", TABLE1_RTT_MS[i][j]);
+                print!("{rtt:>9.0}");
             }
         }
         println!();
@@ -45,11 +53,11 @@ fn main() {
     println!();
     for (i, r) in regions.iter().enumerate() {
         print!("{:>10}", r.to_string());
-        for j in 0..regions.len() {
+        for (j, bw) in TABLE1_BW_MBIT[i].iter().enumerate() {
             if j < i {
                 print!("{:>9}", "");
             } else {
-                print!("{:>9.0}", TABLE1_BW_MBIT[i][j]);
+                print!("{bw:>9.0}");
             }
         }
         println!();

@@ -40,8 +40,8 @@ fn main() {
     ));
 
     println!(
-        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10}  {}",
-        "protocol", "decisions", "meas.local", "meas.global", "formula", "f.global", "centralized"
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10}  centralized",
+        "protocol", "decisions", "meas.local", "meas.global", "formula", "f.global"
     );
     for kind in ProtocolKind::ALL {
         let mut s = Scenario::paper(kind, z, n).quick();

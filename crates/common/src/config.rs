@@ -126,10 +126,7 @@ impl SystemConfig {
     /// Iterate over all replica ids of one cluster.
     pub fn replicas_of(&self, cluster: ClusterId) -> impl Iterator<Item = ReplicaId> + '_ {
         let n = self.replicas_per_cluster as u16;
-        (0..n).map(move |i| ReplicaId {
-            cluster,
-            index: i,
-        })
+        (0..n).map(move |i| ReplicaId { cluster, index: i })
     }
 
     /// Iterate over every replica id in the system, cluster-major.

@@ -211,7 +211,10 @@ mod tests {
         assert_eq!((t - SimTime::ZERO).as_millis_f64(), 10.0);
         assert_eq!(t.since(SimTime(20_000_000)), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis(4) / 2, SimDuration::from_millis(2));
-        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub enum TimerKind {
 }
 
 /// An effect requested by a protocol state machine.
+// `Send` dominates the size but is also ~all instances; boxing it would
+// cost an allocation on the hottest path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Action {
     /// Send `msg` to `to`. Sends to self are legal and are delivered by
@@ -108,10 +111,7 @@ impl Outbox {
 
     /// Queue a unicast.
     pub fn send(&mut self, to: impl Into<NodeId>, msg: Message) {
-        self.actions.push(Action::Send {
-            to: to.into(),
-            msg,
-        });
+        self.actions.push(Action::Send { to: to.into(), msg });
     }
 
     /// Queue the same message to every target (clones per target).

@@ -98,9 +98,7 @@ impl QuorumClient {
                 let members: Vec<ReplicaId> = sys.all_replicas().collect();
                 members[(self.view_hint % members.len() as u64) as usize]
             }
-            TargetPolicy::LocalPrimary => {
-                sys.primary_of(self.id.cluster, self.view_hint)
-            }
+            TargetPolicy::LocalPrimary => sys.primary_of(self.id.cluster, self.view_hint),
             TargetPolicy::HomeReplica => {
                 let members: Vec<ReplicaId> = sys.all_replicas().collect();
                 members[(self.id.index as usize) % members.len()]
@@ -117,9 +115,7 @@ impl QuorumClient {
     fn retry_targets(&self) -> Vec<ReplicaId> {
         let sys = &self.cfg.system;
         match self.policy {
-            TargetPolicy::GlobalPrimary | TargetPolicy::HomeReplica => {
-                sys.all_replicas().collect()
-            }
+            TargetPolicy::GlobalPrimary | TargetPolicy::HomeReplica => sys.all_replicas().collect(),
             TargetPolicy::LocalPrimary | TargetPolicy::LocalRepresentative => {
                 sys.replicas_of(self.id.cluster).collect()
             }
@@ -238,10 +234,17 @@ mod tests {
         let id = ClientId::new(1, 5);
         let signer = ks.register(NodeId::Client(id));
         let crypto = CryptoCtx::new(signer, ks.verifier(), true);
-        QuorumClient::new(id, cfg, crypto, policy, quorum, synthetic_source(id, 3, 100))
+        QuorumClient::new(
+            id,
+            cfg,
+            crypto,
+            policy,
+            quorum,
+            synthetic_source(id, 3, 100),
+        )
     }
 
-    fn reply(replica: ReplicaId, seq: u64, digest: Digest) -> Message {
+    fn reply(_replica: ReplicaId, seq: u64, digest: Digest) -> Message {
         Message::Reply {
             data: ReplyData {
                 client: ClientId::new(1, 5),
@@ -289,10 +292,10 @@ mod tests {
             reply(ReplicaId::new(1, 0), 0, d),
             &mut out,
         );
-        assert!(out.take().iter().all(|a| !matches!(
-            a,
-            crate::api::Action::RequestComplete { .. }
-        )));
+        assert!(out
+            .take()
+            .iter()
+            .all(|a| !matches!(a, crate::api::Action::RequestComplete { .. })));
         let mut out = Outbox::new();
         c.on_message(
             SimTime::ZERO,

@@ -12,12 +12,7 @@ use rdb_store::KvStore;
 pub fn execute_batch(store: &mut KvStore, mode: ExecMode, sb: &SignedBatch) -> Digest {
     match mode {
         ExecMode::Real => {
-            let effect = store.execute_batch(
-                &sb.batch
-                    .operations()
-                    .cloned()
-                    .collect::<Vec<_>>(),
-            );
+            let effect = store.execute_batch(&sb.batch.operations().cloned().collect::<Vec<_>>());
             let mut h = Sha256::new();
             h.update(b"exec-real");
             h.update(sb.digest().as_bytes());

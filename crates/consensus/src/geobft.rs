@@ -312,7 +312,9 @@ impl GeoBftReplica {
             let incoming_round = cert.round;
             self.store_certificate(cert.clone(), out);
             while self.core.next_propose() <= incoming_round
-                && self.core.propose_noop_if_idle(self.core.next_propose(), out)
+                && self
+                    .core
+                    .propose_noop_if_idle(self.core.next_propose(), out)
             {}
         }
         // Local phase of Figure 5: the first copy arriving from outside
@@ -399,7 +401,10 @@ impl GeoBftReplica {
                 entries,
                 state_digest: self.store.state_digest(),
             });
-            if self.executed_rounds % self.cfg.checkpoint_interval == 0 {
+            if self
+                .executed_rounds
+                .is_multiple_of(self.cfg.checkpoint_interval)
+            {
                 self.core
                     .record_checkpoint(round, self.store.state_digest(), out);
                 self.prune_caches();
@@ -707,6 +712,7 @@ mod tests {
     use crate::api::Action;
     use crate::clients::synthetic_source;
     use crate::config::ExecMode;
+    use crate::testkit::{RoutedDecisions, RoutedReplies};
     use rdb_common::config::SystemConfig;
     use rdb_crypto::sign::KeyStore;
     use std::collections::VecDeque;
@@ -755,7 +761,7 @@ mod tests {
         fn route(
             &mut self,
             initial: Vec<(NodeId, NodeId, Message)>,
-        ) -> (Vec<(ReplicaId, ReplyData)>, Vec<(ReplicaId, Decision)>) {
+        ) -> (RoutedReplies, RoutedDecisions) {
             let mut queue: VecDeque<(NodeId, NodeId, Message)> = initial.into();
             let mut replies = Vec::new();
             let mut decisions = Vec::new();
@@ -853,7 +859,10 @@ mod tests {
         let (_, decisions) = net.route(initial);
         assert_eq!(decisions.len(), 8, "all replicas executed round 1");
         for (_, d) in &decisions {
-            assert!(d.entries[1].batch.is_noop(), "cluster 2 contributed a no-op");
+            assert!(
+                d.entries[1].batch.is_noop(),
+                "cluster 2 contributed a no-op"
+            );
             assert!(!d.entries[0].batch.is_noop());
         }
     }
@@ -965,7 +974,15 @@ mod tests {
         // Each external RVC was forwarded to the three local peers.
         let forwards = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Message::Rvc { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Message::Rvc { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(forwards, 2 * 3);
     }
@@ -974,7 +991,7 @@ mod tests {
     fn rvc_replay_with_same_v_is_honored_once() {
         let (mut net, _ks, _cfg) = GeoNet::new(2, 4);
         let target_replica = net.index(ReplicaId::new(0, 2));
-        let mut send_rvcs = |net: &mut GeoNet, v: u64| {
+        let send_rvcs = |net: &mut GeoNet, v: u64| {
             for i in 0..2u16 {
                 let requester = ReplicaId::new(1, i);
                 let sig = {
@@ -1048,7 +1065,15 @@ mod tests {
         let actions = out.take();
         let drvcs = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Message::Drvc { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Message::Drvc { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(drvcs, 4);
         let rearmed = actions.iter().any(|a| {

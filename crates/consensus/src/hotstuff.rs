@@ -251,6 +251,8 @@ impl HotStuffReplica {
         );
     }
 
+    // The parameters mirror the wire message's fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
     fn handle_proposal(
         &mut self,
         from: ReplicaId,
@@ -349,7 +351,10 @@ impl HotStuffReplica {
             let Some(pk) = self.crypto.verifier().public_key_of(from.into()) else {
                 return;
             };
-            if !self.crypto.verify(&pk, &hs_vote_payload(slot, phase, &digest), &sig) {
+            if !self
+                .crypto
+                .verify(&pk, &hs_vote_payload(slot, phase, &digest), &sig)
+            {
                 return;
             }
         }
@@ -420,7 +425,9 @@ impl HotStuffReplica {
         // leader — join immediately instead of waiting for our own timer.
         if votes >= join && !skip_voted && !has_proposal && !my_slot {
             let d = skip_digest(slot);
-            let own_sig = self.crypto.sign(&hs_vote_payload(slot, HsPhase::Prepare, &d));
+            let own_sig = self
+                .crypto
+                .sign(&hs_vote_payload(slot, HsPhase::Prepare, &d));
             self.slots.entry(slot).or_default().skip_voted = true;
             let msg = Message::HsVote {
                 slot,
@@ -499,10 +506,7 @@ impl HotStuffReplica {
             for k in 0..preskip {
                 let s = slot + k * n;
                 let slot_state = self.slots.entry(s).or_default();
-                if slot_state.skip_voted
-                    || slot_state.decided
-                    || slot_state.digest.is_some()
-                {
+                if slot_state.skip_voted || slot_state.decided || slot_state.digest.is_some() {
                     continue;
                 }
                 slot_state.skip_voted = true;
@@ -691,7 +695,11 @@ mod tests {
                 Message::Request(b),
             ));
         }
-        initial.push((NodeId::Client(client), ReplicaId::new(0, 0).into(), Message::Request(sb)));
+        initial.push((
+            NodeId::Client(client),
+            ReplicaId::new(0, 0).into(),
+            Message::Request(sb),
+        ));
         let decisions = route(&mut replicas, initial, None);
         // Slots 1..4 decided on all 4 replicas.
         assert_eq!(decisions.len(), 16);
@@ -774,11 +782,7 @@ mod tests {
         let mut msgs = Vec::new();
         for i in [0usize, 2, 3] {
             let mut out = Outbox::new();
-            replicas[i].on_timer(
-                SimTime::ZERO,
-                TimerKind::SlotNoOp { slot: 1 },
-                &mut out,
-            );
+            replicas[i].on_timer(SimTime::ZERO, TimerKind::SlotNoOp { slot: 1 }, &mut out);
             // on_timer was armed at start in real flow; emulate arming.
             for a in out.take() {
                 if let Action::Send { to, msg } = a {
@@ -811,15 +815,18 @@ mod tests {
             .take()
             .into_iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg } => {
-                    Some((NodeId::Replica(ReplicaId::new(0, 1)), to, msg))
-                }
+                Action::Send { to, msg } => Some((NodeId::Replica(ReplicaId::new(0, 1)), to, msg)),
                 _ => None,
             })
             .collect();
-        assert!(msgs
-            .iter()
-            .any(|(_, _, m)| matches!(m, Message::HsProposal { slot: 1, phase: HsPhase::Prepare, .. })));
+        assert!(msgs.iter().any(|(_, _, m)| matches!(
+            m,
+            Message::HsProposal {
+                slot: 1,
+                phase: HsPhase::Prepare,
+                ..
+            }
+        )));
         let decisions = route(&mut replicas, msgs, None);
         assert_eq!(decisions.len(), 4, "no-op decided everywhere");
         assert!(decisions.iter().all(|(_, d)| d.entries[0].batch.is_noop()));

@@ -335,9 +335,7 @@ impl Message {
     /// against §4 of the paper).
     pub fn wire_size(&self) -> usize {
         match self {
-            Message::Request(sb) | Message::Forward(sb) => {
-                wire::HEADER_BYTES + sb.wire_size()
-            }
+            Message::Request(sb) | Message::Forward(sb) => wire::HEADER_BYTES + sb.wire_size(),
             Message::Reply { data, .. } => data.wire_size(),
             Message::PrePrepare { batch, .. } => wire::preprepare_bytes(batch.batch.len()),
             Message::Prepare { .. }

@@ -151,7 +151,10 @@ impl PbftReplica {
                 state_digest: self.store.state_digest(),
             });
 
-            if self.executed_decisions % self.cfg.checkpoint_interval == 0 {
+            if self
+                .executed_decisions
+                .is_multiple_of(self.cfg.checkpoint_interval)
+            {
                 self.core
                     .record_checkpoint(seq, self.store.state_digest(), out);
             }
@@ -197,6 +200,7 @@ mod tests {
     use crate::api::Action;
     use crate::clients::synthetic_source;
     use crate::config::ExecMode;
+    use crate::testkit::{RoutedDecisions, RoutedReplies};
     use rdb_common::config::SystemConfig;
     use rdb_crypto::sign::KeyStore;
     use std::collections::VecDeque;
@@ -237,7 +241,7 @@ mod tests {
         fn route(
             &mut self,
             initial: Vec<(NodeId, NodeId, Message)>,
-        ) -> (Vec<(ReplicaId, ReplyData)>, Vec<(ReplicaId, Decision)>) {
+        ) -> (RoutedReplies, RoutedDecisions) {
             let mut queue: VecDeque<(NodeId, NodeId, Message)> = initial.into();
             let mut replies = Vec::new();
             let mut decisions = Vec::new();
@@ -308,11 +312,7 @@ mod tests {
         let client = ClientId::new(0, 1);
         let sb = signed_batch(&ks, client, 0);
         let backup: NodeId = ReplicaId::new(0, 2).into();
-        let (replies, _) = net.route(vec![(
-            NodeId::Client(client),
-            backup,
-            Message::Request(sb),
-        )]);
+        let (replies, _) = net.route(vec![(NodeId::Client(client), backup, Message::Request(sb))]);
         assert_eq!(replies.len(), 4);
     }
 

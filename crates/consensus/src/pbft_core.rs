@@ -318,6 +318,8 @@ impl PbftCore {
     // ------------------------------------------------------------------
 
     /// Handle a pre-prepare.
+    // The parameters mirror the wire message's fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_preprepare(
         &mut self,
         from: ReplicaId,
@@ -387,11 +389,17 @@ impl PbftCore {
         if !self.is_member(from) || seq <= self.stable_seq {
             return vec![];
         }
-        self.inst(seq).prepares.entry(digest).or_default().insert(from);
+        self.inst(seq)
+            .prepares
+            .entry(digest)
+            .or_default()
+            .insert(from);
         self.check_progress(seq, out)
     }
 
     /// Handle a (signed) commit vote.
+    // The parameters mirror the wire message's fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_commit(
         &mut self,
         from: ReplicaId,
@@ -442,9 +450,7 @@ impl PbftCore {
 
         let mut events = Vec::new();
 
-        if !inst.prepared
-            && inst.prepares.get(&digest).map_or(0, |s| s.len()) >= quorum
-        {
+        if !inst.prepared && inst.prepares.get(&digest).map_or(0, |s| s.len()) >= quorum {
             inst.prepared = true;
             let payload = scoped_commit_payload(scope, seq, &digest);
             let sig = self.crypto.sign(&payload);
@@ -578,9 +584,7 @@ impl PbftCore {
         if !self.awaiting.is_empty() {
             return true;
         }
-        self.insts
-            .values()
-            .any(|i| i.preprepared && !i.committed)
+        self.insts.values().any(|i| i.preprepared && !i.committed)
     }
 
     /// The progress timer fired: no progress within the timeout. Start (or
@@ -660,9 +664,7 @@ impl PbftCore {
         // we are targeting means at least one non-faulty replica timed
         // out; join them so the change completes.
         let join_threshold = self.f + 1;
-        if votes.len() >= join_threshold
-            && (!self.in_view_change || self.vc_target < new_view)
-        {
+        if votes.len() >= join_threshold && (!self.in_view_change || self.vc_target < new_view) {
             self.vote_view_change(new_view, out);
         }
 
@@ -797,7 +799,9 @@ impl PbftCore {
 
     /// Expose whether an instance is committed (tests / embedders).
     pub fn is_committed(&self, seq: u64) -> bool {
-        self.insts.get(&seq).map_or(seq <= self.stable_seq, |i| i.committed)
+        self.insts
+            .get(&seq)
+            .map_or(seq <= self.stable_seq, |i| i.committed)
     }
 
     /// This replica's identity.
@@ -890,7 +894,12 @@ mod tests {
             .collect();
         assert_eq!(committed.len(), 4, "all four replicas commit");
         for (_, e) in committed {
-            if let CoreEvent::Committed { seq, batch: b, commits } = e {
+            if let CoreEvent::Committed {
+                seq,
+                batch: b,
+                commits,
+            } = e
+            {
                 assert_eq!(*seq, 1);
                 assert_eq!(b.digest(), batch.digest());
                 assert_eq!(commits.len(), 3); // n - f = 3
@@ -921,7 +930,14 @@ mod tests {
         let mut out = Outbox::new();
         tc.cores[0].enqueue_request(batch, &mut out);
         let events = route_core_messages(&mut tc.cores, out);
-        let (_, CoreEvent::Committed { seq, batch, commits }) = events
+        let (
+            _,
+            CoreEvent::Committed {
+                seq,
+                batch,
+                commits,
+            },
+        ) = events
             .iter()
             .find(|(_, e)| matches!(e, CoreEvent::Committed { .. }))
             .expect("committed")
@@ -947,15 +963,7 @@ mod tests {
         let digest = batch.digest();
         let mut out = Outbox::new();
         // Replica 2 (not the view-0 primary) tries to propose.
-        let ev = tc.cores[1].on_preprepare(
-            tc.ids[2],
-            tc.scope,
-            0,
-            1,
-            batch,
-            digest,
-            &mut out,
-        );
+        let ev = tc.cores[1].on_preprepare(tc.ids[2], tc.scope, 0, 1, batch, digest, &mut out);
         assert!(ev.is_empty());
         assert!(out.is_empty());
     }
@@ -967,15 +975,8 @@ mod tests {
         let digest = batch.digest();
         let window = tc.cores[1].cfg.window;
         let mut out = Outbox::new();
-        let ev = tc.cores[1].on_preprepare(
-            tc.ids[0],
-            tc.scope,
-            0,
-            window + 1,
-            batch,
-            digest,
-            &mut out,
-        );
+        let ev =
+            tc.cores[1].on_preprepare(tc.ids[0], tc.scope, 0, window + 1, batch, digest, &mut out);
         assert!(ev.is_empty());
     }
 

@@ -201,10 +201,7 @@ impl StewardReplica {
                 };
                 // The primary-cluster primary disseminates the proposal to
                 // f + 1 replicas of every other cluster.
-                let is_primary = self
-                    .core
-                    .as_ref()
-                    .is_some_and(|c| c.is_primary());
+                let is_primary = self.core.as_ref().is_some_and(|c| c.is_primary());
                 if is_primary {
                     let fanout = self.cfg.system.weak_quorum();
                     let msg = Message::StewardProposal {
@@ -231,7 +228,13 @@ impl StewardReplica {
     // Proposal dissemination and accepts
     // ------------------------------------------------------------------
 
-    fn handle_proposal(&mut self, from: NodeId, seq: u64, cert: CommitCertificate, out: &mut Outbox) {
+    fn handle_proposal(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        cert: CommitCertificate,
+        out: &mut Outbox,
+    ) {
         if cert.cluster != PRIMARY_CLUSTER || cert.round != seq {
             return;
         }
@@ -240,8 +243,9 @@ impl StewardReplica {
         }
         // Relay the first externally-received copy within the cluster.
         let inst = self.insts.entry(seq).or_default();
-        let need_relay =
-            from.cluster() != self.my_cluster && !inst.relayed && self.my_cluster != PRIMARY_CLUSTER;
+        let need_relay = from.cluster() != self.my_cluster
+            && !inst.relayed
+            && self.my_cluster != PRIMARY_CLUSTER;
         if need_relay {
             inst.relayed = true;
             let peers: Vec<ReplicaId> = self
@@ -456,7 +460,10 @@ impl StewardReplica {
                 state_digest: self.store.state_digest(),
             });
             // Checkpoint the primary-cluster engine periodically.
-            if self.executed_decisions % self.cfg.checkpoint_interval == 0 {
+            if self
+                .executed_decisions
+                .is_multiple_of(self.cfg.checkpoint_interval)
+            {
                 let state = self.store.state_digest();
                 if let Some(core) = &mut self.core {
                     core.record_checkpoint(seq, state, out);
@@ -523,6 +530,7 @@ mod tests {
     use crate::api::Action;
     use crate::clients::synthetic_source;
     use crate::config::ExecMode;
+    use crate::testkit::{RoutedDecisions, RoutedReplies};
     use rdb_common::config::SystemConfig;
     use rdb_crypto::sign::KeyStore;
     use std::collections::VecDeque;
@@ -556,7 +564,7 @@ mod tests {
         fn route(
             &mut self,
             initial: Vec<(NodeId, NodeId, Message)>,
-        ) -> (Vec<(ReplicaId, ReplyData)>, Vec<(ReplicaId, Decision)>) {
+        ) -> (RoutedReplies, RoutedDecisions) {
             let mut queue: VecDeque<(NodeId, NodeId, Message)> = initial.into();
             let mut replies = Vec::new();
             let mut decisions = Vec::new();
@@ -698,12 +706,7 @@ mod tests {
         }
         let (_, decisions) = net.route(initial);
         assert_eq!(decisions.len(), 8 * 4);
-        for rid in net
-            .replicas
-            .iter()
-            .map(|r| r.id())
-            .collect::<Vec<_>>()
-        {
+        for rid in net.replicas.iter().map(|r| r.id()).collect::<Vec<_>>() {
             let seqs: Vec<u64> = decisions
                 .iter()
                 .filter(|(r, _)| *r == rid)

@@ -18,6 +18,11 @@ use rdb_crypto::sign::{KeyStore, Signer};
 use rdb_store::{Operation, Value};
 use std::collections::{HashMap, VecDeque};
 
+/// Replies collected while routing a protocol network to quiescence.
+pub(crate) type RoutedReplies = Vec<(ReplicaId, crate::types::ReplyData)>;
+/// Decisions collected while routing a protocol network to quiescence.
+pub(crate) type RoutedDecisions = Vec<(ReplicaId, crate::types::Decision)>;
+
 /// A single-cluster test fixture of `n` PBFT cores with real crypto.
 pub(crate) struct TestCluster {
     pub scope: Scope,
@@ -98,12 +103,14 @@ pub(crate) fn route_batches(
     let mut queue: VecDeque<(usize, usize, Message)> = VecDeque::new();
     let index_of = |r: ReplicaId| r.index as usize;
 
-    let mut push_actions = |from: usize, actions: Vec<Action>, queue: &mut VecDeque<_>| {
+    let push_actions = |from: usize, actions: Vec<Action>, queue: &mut VecDeque<_>| {
         for a in actions {
-            if let Action::Send { to, msg } = a {
-                if let NodeId::Replica(r) = to {
-                    queue.push_back((from, index_of(r), msg));
-                }
+            if let Action::Send {
+                to: NodeId::Replica(r),
+                msg,
+            } = a
+            {
+                queue.push_back((from, index_of(r), msg));
             }
         }
     };
@@ -132,10 +139,7 @@ pub(crate) fn route_batches(
 
 /// Route until quiescent, delivering everything; the initial outbox is
 /// attributed to core 0.
-pub(crate) fn route_core_messages(
-    cores: &mut Vec<PbftCore>,
-    out: Outbox,
-) -> Vec<(usize, CoreEvent)> {
+pub(crate) fn route_core_messages(cores: &mut [PbftCore], out: Outbox) -> Vec<(usize, CoreEvent)> {
     route_batches(cores, vec![(0, out)], |_| true)
 }
 

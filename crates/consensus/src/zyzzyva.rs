@@ -609,9 +609,13 @@ mod tests {
         let mut out = Outbox::new();
         client.on_timer(SimTime::ZERO, TimerKind::SpecWindow { seq: 0 }, &mut out);
         let actions = out.take();
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: Message::ZyzCommit { .. }, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::ZyzCommit { .. },
+                ..
+            }
+        )));
         let completed = pump(&mut replicas, &mut client, actions, Some(3));
         assert!(completed, "commit phase completes with 2F+1 local-commits");
     }
@@ -632,9 +636,13 @@ mod tests {
                 ..
             }
         )));
-        assert!(!actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: Message::ZyzCommit { .. }, .. })));
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Message::ZyzCommit { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -680,7 +688,11 @@ mod tests {
             },
             &mut out,
         );
-        assert_eq!(replicas[1].executed_decisions(), 2, "both executed in order");
+        assert_eq!(
+            replicas[1].executed_decisions(),
+            2,
+            "both executed in order"
+        );
     }
 
     #[test]

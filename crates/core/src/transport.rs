@@ -171,7 +171,9 @@ impl InProcTransport {
                         Some(Reverse(e)) => {
                             let due = e.due;
                             let wait = due.saturating_duration_since(Instant::now());
-                            shared.wheel_cv.wait_for(&mut wheel, wait.max(Duration::from_micros(50)));
+                            shared
+                                .wheel_cv
+                                .wait_for(&mut wheel, wait.max(Duration::from_micros(50)));
                         }
                         None => {
                             shared

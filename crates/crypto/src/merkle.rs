@@ -85,7 +85,7 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if i % 2 == 0 {
+            let sibling = if i.is_multiple_of(2) {
                 // We are a left child; sibling (if any) is to the right.
                 level.get(i + 1).map(|d| (Side::Right, *d))
             } else {

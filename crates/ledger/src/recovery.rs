@@ -87,11 +87,23 @@ pub fn recover_from(
     audit_chain(peer, trusted, cfg, crypto)?;
     let mut store = initial_store;
     for block in peer.blocks().iter().skip(1) {
-        let ops: Vec<rdb_store::Operation> =
-            block.batch.batch.operations().cloned().collect();
+        let ops: Vec<rdb_store::Operation> = block.batch.batch.operations().cloned().collect();
         store.execute_batch(&ops);
     }
     Ok(store)
+}
+
+impl Ledger {
+    /// Construct a ledger from raw blocks WITHOUT verification. Exists for
+    /// tests and for modeling malicious peers; always [`Ledger::verify`]
+    /// or [`audit_chain`] before trusting the result.
+    pub fn from_blocks_unchecked(blocks: Vec<crate::block::Block>) -> Ledger {
+        // Safety note: Ledger is a plain Vec wrapper; the invariants are
+        // re-established by verify().
+        let mut l = Ledger::new();
+        l.replace_blocks(blocks);
+        l
+    }
 }
 
 #[cfg(test)]
@@ -196,18 +208,5 @@ mod tests {
         // transmute via serde-like reconstruction. For tests we re-create
         // by direct field access through a helper on Ledger.
         Ledger::from_blocks_unchecked(blocks)
-    }
-}
-
-impl Ledger {
-    /// Construct a ledger from raw blocks WITHOUT verification. Exists for
-    /// tests and for modeling malicious peers; always [`Ledger::verify`]
-    /// or [`audit_chain`] before trusting the result.
-    pub fn from_blocks_unchecked(blocks: Vec<crate::block::Block>) -> Ledger {
-        // Safety note: Ledger is a plain Vec wrapper; the invariants are
-        // re-established by verify().
-        let mut l = Ledger::new();
-        l.replace_blocks(blocks);
-        l
     }
 }

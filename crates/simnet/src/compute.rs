@@ -80,9 +80,7 @@ impl ComputeModel {
         let base = self.recv_ns + self.bytes_cost(msg.wire_size());
         let crypto = match msg {
             Message::Request(_) | Message::Forward(_) => self.mac_ns + self.verify_ns,
-            Message::PrePrepare { .. } | Message::OrderReq { .. } => {
-                self.mac_ns + self.verify_ns
-            }
+            Message::PrePrepare { .. } | Message::OrderReq { .. } => self.mac_ns + self.verify_ns,
             Message::Prepare { .. }
             | Message::Checkpoint { .. }
             | Message::Drvc { .. }
@@ -142,9 +140,9 @@ impl ComputeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rdb_common::ids::{ClusterId, ReplicaId};
     use rdb_consensus::certificate::{CommitCertificate, CommitSig};
     use rdb_consensus::types::SignedBatch;
-    use rdb_common::ids::{ClusterId, ReplicaId};
     use rdb_crypto::digest::Digest;
     use rdb_crypto::sign::Signature;
 

@@ -59,9 +59,7 @@ impl FaultState {
         for s in specs {
             match s {
                 FaultSpec::Crash { replica, at } => fs.crashes.push((*replica, *at)),
-                FaultSpec::DropLink { a, b, from_time } => {
-                    fs.drops.push((*a, *b, *from_time))
-                }
+                FaultSpec::DropLink { a, b, from_time } => fs.drops.push((*a, *b, *from_time)),
                 FaultSpec::SuppressGlobalShare { .. } => {}
             }
         }

@@ -103,8 +103,7 @@ impl YcsbWorkload {
     /// seed with the client identity so streams are independent but
     /// reproducible.
     pub fn new(cfg: YcsbConfig, client: ClientId, seed: u64) -> YcsbWorkload {
-        let client_tag =
-            (client.cluster.0 as u64) << 48 | (client.index as u64) << 8 | 0x5eed;
+        let client_tag = (client.cluster.0 as u64) << 48 | (client.index as u64) << 8 | 0x5eed;
         let zipf = Zipfian::new(cfg.record_count, cfg.theta);
         YcsbWorkload {
             cfg,

@@ -63,7 +63,8 @@ fn main() {
     // 2. A malicious peer rewrites history: change one block's batch.
     let mut blocks = peer_ledger.blocks().to_vec();
     if blocks.len() > 2 {
-        blocks[2].batch = rdb_consensus::types::SignedBatch::noop(rdb_common::ids::ClusterId(0), 99);
+        blocks[2].batch =
+            rdb_consensus::types::SignedBatch::noop(rdb_common::ids::ClusterId(0), 99);
     }
     let tampered = Ledger::from_blocks_unchecked(blocks);
     match audit_chain(&tampered, None, &cfg, &crypto) {

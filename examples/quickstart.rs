@@ -34,11 +34,7 @@ fn main() {
     println!("\nledger audit: all replicas agree on {common} blocks");
 
     // Walk the first few blocks of one replica's chain.
-    let (rid, ledger) = report
-        .ledgers
-        .iter()
-        .next()
-        .expect("at least one replica");
+    let (rid, ledger) = report.ledgers.iter().next().expect("at least one replica");
     println!("\nblockchain of replica {rid} (first blocks):");
     for block in ledger.blocks().iter().take(5) {
         println!(

@@ -34,8 +34,14 @@ fn fresh_crypto() -> CryptoCtx {
 fn recovering_replica_replays_real_history_to_matching_state() {
     let (ledger, cfg) = deployment_history();
     let crypto = fresh_crypto();
-    let recovered = recover_from(&ledger, None, &cfg, &crypto, KvStore::with_ycsb_records(300))
-        .expect("audit passes");
+    let recovered = recover_from(
+        &ledger,
+        None,
+        &cfg,
+        &crypto,
+        KvStore::with_ycsb_records(300),
+    )
+    .expect("audit passes");
     // The replayed transaction count equals the chain's content.
     let expected: u64 = ledger
         .blocks()
@@ -53,8 +59,7 @@ fn tampering_with_deployment_history_is_caught() {
     let mut blocks = ledger.blocks().to_vec();
     assert!(blocks.len() > 2, "need history to tamper with");
     // Malicious peer swaps a block's payload.
-    blocks[1].batch =
-        rdb_consensus::types::SignedBatch::noop(rdb_common::ids::ClusterId(0), 123);
+    blocks[1].batch = rdb_consensus::types::SignedBatch::noop(rdb_common::ids::ClusterId(0), 123);
     let tampered = Ledger::from_blocks_unchecked(blocks);
     let err = audit_chain(&tampered, None, &cfg, &crypto).unwrap_err();
     assert!(matches!(err, AuditError::Corrupt(_)), "{err}");

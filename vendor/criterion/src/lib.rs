@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` surface plus the
+//! `criterion_group!` / `criterion_main!` macros so `cargo bench` targets
+//! compile (`harness = false`) and run. Measurement is a simple
+//! warmup-then-sample loop reporting mean ns/iter — no statistics engine,
+//! but honest wall-clock numbers suitable for coarse regression checks.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Units of work per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate a batch size targeting ~1/10 of the
+        // measurement window per sample.
+        let warmup_start = Instant::now();
+        let mut iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let per_sec = if mean_ns > 0.0 { 1e9 / mean_ns } else { 0.0 };
+    match throughput {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            let mbps = per_sec * n as f64 / 1e6;
+            println!("bench: {name:<40} {mean_ns:>12.1} ns/iter  {mbps:>10.1} MB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = per_sec * n as f64;
+            println!("bench: {name:<40} {mean_ns:>12.1} ns/iter  {eps:>10.0} elem/s");
+        }
+        None => {
+            println!("bench: {name:<40} {mean_ns:>12.1} ns/iter");
+        }
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&name.to_string(), b.mean_ns, None);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-exported for convenience; criterion's own black_box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,464 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal serialization framework with the same
+//! surface the codebase uses: `Serialize`/`Deserialize` traits (derivable via
+//! the sibling `serde_derive` proc-macro), `Serializer`/`Deserializer`
+//! traits generic enough for hand-written adapters such as the
+//! `#[serde(with = "...")]` modules, and `serde::de::Error::custom`.
+//!
+//! Internally everything funnels through a JSON-like [`value::Value`] tree;
+//! `serde_json` (also vendored) renders that tree. This trades serde's
+//! zero-copy visitor architecture for simplicity — fine for the repo's only
+//! runtime uses (JSON report emission and round-trip tests).
+
+pub mod value {
+    use std::fmt;
+
+    /// A JSON-like dynamic value: the interchange format between
+    /// `Serialize` implementations and concrete serializers.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// The single error type used by the value-tree layer.
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl DeError {
+        pub fn msg(m: impl Into<String>) -> DeError {
+            DeError(m.into())
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl crate::ser::Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    impl crate::de::Error for DeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    /// A [`crate::Serializer`] that materializes the value tree itself.
+    pub struct ValueSerializer;
+
+    impl crate::Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = DeError;
+        fn serialize_value(self, v: Value) -> Result<Value, DeError> {
+            Ok(v)
+        }
+    }
+
+    /// A [`crate::Deserializer`] reading from a borrowed value tree.
+    pub struct ValueDeserializer<'a>(pub &'a Value);
+
+    impl<'a> ValueDeserializer<'a> {
+        pub fn new(v: &'a Value) -> Self {
+            ValueDeserializer(v)
+        }
+    }
+
+    impl<'de, 'a> crate::Deserializer<'de> for ValueDeserializer<'a> {
+        type Error = DeError;
+        fn deserialize_value(self) -> Result<Value, DeError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Look up a struct field in a serialized map.
+    pub fn get<'v>(m: &'v [(String, Value)], key: &str) -> Result<&'v Value, DeError> {
+        m.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError(format!("missing field `{key}`")))
+    }
+}
+
+pub mod ser {
+    use std::fmt;
+
+    pub trait Error: Sized {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Value-based serializer: implementations decide what to do with the
+    /// finished tree (`serde_json` renders it, [`crate::value::ValueSerializer`]
+    /// returns it unchanged).
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        fn serialize_value(self, v: crate::value::Value) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    use std::fmt;
+
+    pub trait Error: Sized {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Value-based deserializer: yields the value tree the input parses to.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+        fn deserialize_value(self) -> Result<crate::value::Value, Self::Error>;
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+use value::{DeError, Value};
+
+pub trait Serialize {
+    /// Convert `self` into the dynamic value tree.
+    fn to_value(&self) -> Value;
+
+    /// serde-compatible entry point; custom `#[serde(with = "...")]` modules
+    /// call this generically.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// serde-compatible entry point.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.deserialize_value()?;
+        Self::from_value(&v).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Implementations for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    _ => Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    _ => Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // Fits u64 in all workspace uses; saturate rather than panic.
+        Value::U64(u64::try_from(*self).unwrap_or(u64::MAX))
+    }
+}
+impl<'de> Deserialize<'de> for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u64::from_value(v).map(u128::from)
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    _ => Err(DeError::msg("expected float")),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::msg("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::msg("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Copy + Default, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| DeError::msg("expected sequence"))?;
+        if seq.len() != N {
+            return Err(DeError(format!("expected {N} elements, got {}", seq.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError::msg("expected tuple sequence"))?;
+                Ok(($($t::from_value(
+                    s.get($n).ok_or_else(|| DeError::msg("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+/// Map keys must render to strings for the JSON-like tree.
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(k: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(k: &str) -> Result<Self, DeError> {
+        Ok(k.to_string())
+    }
+}
+
+macro_rules! impl_mapkey_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(k: &str) -> Result<Self, DeError> {
+                k.parse().map_err(|_| DeError::msg("bad integer map key"))
+            }
+        }
+    )*};
+}
+impl_mapkey_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<'de, K: MapKey + std::hash::Hash + Eq, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::msg("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::msg("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::F64(self.as_secs_f64())
+    }
+}
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(std::time::Duration::from_secs_f64)
+    }
+}

@@ -1,0 +1,525 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's `Serialize`/`Deserialize` (value-tree
+//! based, see `vendor/serde`) for non-generic structs and enums. `syn` and
+//! `quote` are unavailable offline, so this hand-parses the item's token
+//! stream and emits the impl as a source string.
+//!
+//! Supported shapes (everything the workspace uses):
+//! * named / tuple / unit structs, enums with unit / tuple / struct variants
+//! * `#[serde(skip)]` on fields (skipped on serialize, `Default` on
+//!   deserialize)
+//! * `#[serde(with = "module")]` on fields (calls `module::serialize` /
+//!   `module::deserialize` through value-tree adapters)
+//!
+//! Enum representation matches serde's externally-tagged default: unit
+//! variants serialize to a string, data variants to a one-entry map.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    skip: bool,
+    with: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extract `skip` / `with = "..."` from the tokens inside `#[serde(...)]`.
+fn parse_serde_attr(group: &proc_macro::Group, skip: &mut bool, with: &mut Option<String>) {
+    // Group is the bracket group `[serde(...)]`; find the inner paren group.
+    let mut inner = group.stream().into_iter();
+    let first = inner.next();
+    let is_serde = matches!(&first, Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.next() else {
+        return;
+    };
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                *skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "path"
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        *with = Some(s.trim_matches('"').to_string());
+                    }
+                }
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Consume leading attributes (returning serde options) and a visibility
+/// qualifier from `toks[*i]` onward.
+fn eat_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut with = None;
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    parse_serde_attr(g, &mut skip, &mut with);
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return (skip, with),
+        }
+    }
+}
+
+/// Skip one type (everything up to a top-level `,`), tracking `<...>` depth.
+/// Delimited groups are single trees, so only angle brackets need counting.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if angle > 0 => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let (skip, with) = eat_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        fields.push(Field {
+            name: Some(name),
+            skip,
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let (skip, with) = eat_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        fields.push(Field {
+            name: None,
+            skip,
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _ = eat_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                i += 1;
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(parse_tuple_fields(g.stream()));
+                i += 1;
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(t) = toks.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (doc comments etc.) and visibility.
+    let _ = eat_attrs_and_vis(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Expression serializing `expr` (a reference) to a `Value`.
+fn ser_expr(field: &Field, expr: &str) -> String {
+    match &field.with {
+        Some(path) => format!(
+            "{path}::serialize({expr}, serde::value::ValueSerializer).expect(\"with-serialize\")"
+        ),
+        None => format!("serde::Serialize::to_value({expr})"),
+    }
+}
+
+/// Expression deserializing a field from the `&Value` expression `src`.
+/// The target type is inferred from the surrounding constructor.
+fn de_expr(field: &Field, src: &str) -> String {
+    match &field.with {
+        Some(path) => {
+            format!("{path}::deserialize(serde::value::ValueDeserializer::new({src}))?")
+        }
+        None => format!("serde::Deserialize::from_value({src})?"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "serde::value::Value::Null".to_string(),
+                Shape::Tuple(fields) => {
+                    let live: Vec<(usize, &Field)> =
+                        fields.iter().enumerate().filter(|(_, f)| !f.skip).collect();
+                    if live.len() == 1 {
+                        // Newtype: serialize transparently like serde does.
+                        let (idx, f) = live[0];
+                        ser_expr(f, &format!("&self.{idx}"))
+                    } else {
+                        let items: Vec<String> = live
+                            .iter()
+                            .map(|(idx, f)| ser_expr(f, &format!("&self.{idx}")))
+                            .collect();
+                        format!("serde::value::Value::Seq(vec![{}])", items.join(", "))
+                    }
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .filter(|f| !f.skip)
+                        .map(|f| {
+                            let fname = f.name.as_deref().unwrap();
+                            format!(
+                                "(\"{fname}\".to_string(), {})",
+                                ser_expr(f, &format!("&self.{fname}"))
+                            )
+                        })
+                        .collect();
+                    format!("serde::value::Value::Map(vec![{}])", items.join(", "))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.shape {
+                    Shape::Unit => {
+                        format!("{name}::{vn} => serde::value::Value::Str(\"{vn}\".to_string()),")
+                    }
+                    Shape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            ser_expr(&fields[0], "f0")
+                        } else {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| ser_expr(f, &format!("f{i}")))
+                                .collect();
+                            format!("serde::value::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({}) => serde::value::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let fname = f.name.as_deref().unwrap();
+                                format!("(\"{fname}\".to_string(), {})", ser_expr(f, fname))
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => serde::value::Value::Map(vec![(\"{vn}\".to_string(), serde::value::Value::Map(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(fields) => {
+                    let live: Vec<(usize, &Field)> =
+                        fields.iter().enumerate().filter(|(_, f)| !f.skip).collect();
+                    if fields.len() == 1 && live.len() == 1 {
+                        format!("Ok({name}({}))", de_expr(live[0].1, "v"))
+                    } else {
+                        let mut parts = Vec::new();
+                        let mut live_idx = 0usize;
+                        for f in fields {
+                            if f.skip {
+                                parts.push("Default::default()".to_string());
+                            } else {
+                                parts.push(de_expr(
+                                    f,
+                                    &format!(
+                                        "s.get({live_idx}).ok_or_else(|| serde::value::DeError::msg(\"tuple too short\"))?"
+                                    ),
+                                ));
+                                live_idx += 1;
+                            }
+                        }
+                        format!(
+                            "let s = v.as_seq().ok_or_else(|| serde::value::DeError::msg(\"expected sequence\"))?;\n\
+                             Ok({name}({}))",
+                            parts.join(", ")
+                        )
+                    }
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let fname = f.name.as_deref().unwrap();
+                            if f.skip {
+                                format!("{fname}: Default::default()")
+                            } else {
+                                format!(
+                                    "{fname}: {}",
+                                    de_expr(f, &format!("serde::value::get(m, \"{fname}\")?"))
+                                )
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "let m = v.as_map().ok_or_else(|| serde::value::DeError::msg(\"expected map for {name}\"))?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    Shape::Tuple(fields) => {
+                        let build = if fields.len() == 1 {
+                            format!("Ok({name}::{vn}({}))", de_expr(&fields[0], "payload"))
+                        } else {
+                            let parts: Vec<String> = fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| {
+                                    de_expr(
+                                        f,
+                                        &format!(
+                                            "s.get({i}).ok_or_else(|| serde::value::DeError::msg(\"variant tuple too short\"))?"
+                                        ),
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let s = payload.as_seq().ok_or_else(|| serde::value::DeError::msg(\"expected sequence\"))?; Ok({name}::{vn}({})) }}",
+                                parts.join(", ")
+                            )
+                        };
+                        data_arms.push(format!("\"{vn}\" => {build},"));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_deref().unwrap();
+                                if f.skip {
+                                    format!("{fname}: Default::default()")
+                                } else {
+                                    format!(
+                                        "{fname}: {}",
+                                        de_expr(f, &format!("serde::value::get(m, \"{fname}\")?"))
+                                    )
+                                }
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ let m = payload.as_map().ok_or_else(|| serde::value::DeError::msg(\"expected map\"))?; Ok({name}::{vn} {{ {} }}) }},",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                   serde::value::Value::Str(s) => match s.as_str() {{\n\
+                     {}\n\
+                     other => Err(serde::value::DeError(format!(\"unknown variant {{other}}\"))),\n\
+                   }},\n\
+                   serde::value::Value::Map(m) if m.len() == 1 => {{\n\
+                     let (tag, payload) = &m[0];\n\
+                     match tag.as_str() {{\n\
+                       {}\n\
+                       other => Err(serde::value::DeError(format!(\"unknown variant {{other}}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   _ => Err(serde::value::DeError::msg(\"expected enum representation\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+           fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
