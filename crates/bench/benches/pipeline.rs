@@ -1,14 +1,208 @@
-//! Macro-benchmark of the real threaded fabric (E8): wall-clock
-//! throughput of an in-process cluster with real signatures and real
-//! execution — the fabric-level analogue of Figure 13's batching sweep.
+//! Pipeline staging benchmarks (paper Figure 9).
+//!
+//! Three angles on the staged runtime:
+//!
+//! * `pipeline-verify-fanout` — fixed verification-heavy work (a queue of
+//!   commit certificates, each carrying `n - f` signatures) drained by
+//!   1/2/4 verifier threads running the same pure
+//!   [`VerifiedMessage::check`] the fabric's verify stage runs. Wall time
+//!   dropping as fan-out grows = verification throughput scaling.
+//! * `pipeline-fabric-occupancy` — the real threaded fabric under a
+//!   verification-heavy closed-loop workload at verifier fan-out 1 vs 4,
+//!   reporting completed transactions and worker-thread occupancy (the
+//!   per-stage busy counters from `resilientdb::Metrics`).
+//! * `pipeline-fabric-batch` — the original fabric macro-benchmark (E8):
+//!   wall-clock throughput across batch sizes, the fabric-level analogue
+//!   of Figure 13's batching sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdb_common::config::SystemConfig;
+use rdb_common::ids::{ClientId, ClusterId, NodeId, ReplicaId};
+use rdb_consensus::certificate::{commit_payload, CommitCertificate, CommitSig};
 use rdb_consensus::config::ProtocolKind;
+use rdb_consensus::crypto_ctx::CryptoCtx;
+use rdb_consensus::messages::Message;
+use rdb_consensus::stage::VerifiedMessage;
+use rdb_consensus::types::{ClientBatch, SignedBatch, Transaction};
+use rdb_crypto::sign::KeyStore;
 use resilientdb::DeploymentBuilder;
+use std::sync::Arc;
 use std::time::Duration;
 
-fn bench_fabric(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fabric-pbft-1x4");
+/// Build a pool of valid `GlobalShare` messages: 1 client signature +
+/// `n - f` commit signatures each — the most verification-heavy message
+/// the protocols exchange.
+fn cert_workload(count: usize) -> (SystemConfig, CryptoCtx, Vec<(NodeId, Message)>) {
+    let system = SystemConfig::geo(1, 4).unwrap();
+    let ks = KeyStore::new(0xBE7C);
+    let me = ReplicaId::new(0, 0);
+    let crypto = CryptoCtx::new(ks.register(me.into()), ks.verifier(), true);
+    let client = ClientId::new(0, 0);
+    let client_signer = ks.register(client.into());
+    let peer_signers: Vec<_> = (1..4)
+        .map(|i| {
+            (
+                ReplicaId::new(0, i),
+                ks.register(ReplicaId::new(0, i).into()),
+            )
+        })
+        .collect();
+
+    let msgs = (0..count as u64)
+        .map(|round| {
+            let batch = ClientBatch {
+                client,
+                batch_seq: round,
+                txns: (0..10)
+                    .map(|i| Transaction {
+                        client,
+                        seq: round * 10 + i,
+                        op: rdb_store::Operation::NoOp,
+                    })
+                    .collect(),
+            };
+            let digest = batch.digest();
+            let sb = SignedBatch {
+                batch,
+                pubkey: client_signer.public_key(),
+                sig: client_signer.sign(digest.as_bytes()),
+            };
+            let payload = commit_payload(ClusterId(0), round, &digest);
+            let commits: Vec<CommitSig> = peer_signers
+                .iter()
+                .map(|(r, s)| CommitSig {
+                    replica: *r,
+                    sig: s.sign(&payload),
+                })
+                .collect();
+            let cert = CommitCertificate {
+                cluster: ClusterId(0),
+                round,
+                digest,
+                batch: sb,
+                commits,
+            };
+            (
+                NodeId::Replica(ReplicaId::new(0, 1)),
+                Message::GlobalShare { cert },
+            )
+        })
+        .collect();
+    (system, crypto, msgs)
+}
+
+/// Drain `msgs` through `fanout` verifier threads (strided batches, no
+/// shared queue — pure verification scaling); panics on any drop (the
+/// workload is honestly signed, so a drop is a bug).
+fn drain_with_fanout(
+    system: &SystemConfig,
+    crypto: &CryptoCtx,
+    msgs: &Arc<Vec<(NodeId, Message)>>,
+    fanout: usize,
+) -> usize {
+    let system = Arc::new(system.clone());
+    let handles: Vec<_> = (0..fanout)
+        .map(|stripe| {
+            let msgs = Arc::clone(msgs);
+            let crypto = crypto.clone();
+            let system = Arc::clone(&system);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for (from, msg) in msgs.iter().skip(stripe).step_by(fanout) {
+                    if VerifiedMessage::check(&system, &crypto, *from, msg.clone()).is_some() {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let ok: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(ok, msgs.len(), "verifier dropped honest traffic");
+    ok
+}
+
+fn bench_verify_fanout(c: &mut Criterion) {
+    let (system, crypto, msgs) = cert_workload(256);
+    let msgs = Arc::new(msgs);
+    let mut g = c.benchmark_group("pipeline-verify-fanout");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(msgs.len() as u64));
+    for fanout in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(fanout),
+            &fanout,
+            |b, &fanout| b.iter(|| black_box(drain_with_fanout(&system, &crypto, &msgs, fanout))),
+        );
+    }
+    g.finish();
+}
+
+/// The modeled pipeline in `rdb-simnet`: deterministic and independent of
+/// the host's core count (on a 1-core CI box the thread benches above
+/// cannot scale, but the *model* still must). Virtual throughput should
+/// rise with verifier fan-out on this verification-bound workload; the
+/// numbers are printed per fan-out.
+fn bench_simnet_fanout(c: &mut Criterion) {
+    use rdb_simnet::{PipelineModel, Scenario};
+    let mut g = c.benchmark_group("pipeline-simnet-fanout");
+    g.sample_size(2);
+    for fanout in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let mut s = Scenario::paper(ProtocolKind::Pbft, 1, 4).quick();
+                    s.logical_clients = 4_000;
+                    s.compute.pipeline = PipelineModel::with_verifiers(fanout);
+                    let m = s.with_batch_size(50).run();
+                    eprintln!(
+                        "    modeled fanout={fanout}: {:.0} txn/s",
+                        m.throughput_txn_s
+                    );
+                    m.throughput_txn_s as u64
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fabric_occupancy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline-fabric-occupancy");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(12));
+    for fanout in [1usize, 4] {
+        g.throughput(Throughput::Elements(50));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+                        .batch_size(50)
+                        .clients(8)
+                        .records(1_000)
+                        .verifier_threads(fanout)
+                        .duration(Duration::from_millis(300))
+                        .run();
+                    eprintln!(
+                        "    fanout={fanout}: {} txns, worker occupancy {:.1}%",
+                        report.completed_txns,
+                        100.0 * report.worker_occupancy()
+                    );
+                    report.completed_txns
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fabric_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline-fabric-batch");
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(12));
     for batch in [10usize, 50] {
@@ -28,5 +222,11 @@ fn bench_fabric(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fabric);
+criterion_group!(
+    benches,
+    bench_verify_fanout,
+    bench_simnet_fanout,
+    bench_fabric_occupancy,
+    bench_fabric_batch
+);
 criterion_main!(benches);

@@ -82,14 +82,18 @@ impl CommitCertificate {
             return false;
         }
         if crypto.checks_signatures() {
+            // One payload, n - f signatures: check them as a batch (single
+            // pass over the key registry — the verifier-stage hot path).
             let payload = commit_payload(self.cluster, self.round, &self.digest);
+            let mut pairs = Vec::with_capacity(self.commits.len());
             for c in &self.commits {
                 let Some(pk) = crypto.verifier().public_key_of(c.replica.into()) else {
                     return false;
                 };
-                if !crypto.verify(&pk, &payload, &c.sig) {
-                    return false;
-                }
+                pairs.push((pk, c.sig));
+            }
+            if !crypto.verify_many(&payload, &pairs) {
+                return false;
             }
         }
         true

@@ -19,23 +19,39 @@ use std::sync::Arc;
 pub struct CryptoCtx {
     signer: Arc<Signer>,
     verifier: Verifier,
-    check_sigs: bool,
+    /// Produce real signatures when signing.
+    sign_real: bool,
+    /// Check signatures on inbound material. Independent from `sign_real`
+    /// so a pipeline's ordering stage can *trust* a dedicated verifier
+    /// stage (inbound checks off) while still signing its own votes.
+    verify_inbound: bool,
 }
 
 impl CryptoCtx {
     /// Build a context. `check_sigs = false` turns `verify*` into
-    /// constant-`true` (modeled verification).
+    /// constant-`true` (modeled verification) and signing into placeholder
+    /// tags.
     pub fn new(signer: Signer, verifier: Verifier, check_sigs: bool) -> CryptoCtx {
         CryptoCtx {
             signer: Arc::new(signer),
             verifier,
-            check_sigs,
+            sign_real: check_sigs,
+            verify_inbound: check_sigs,
         }
     }
 
-    /// Whether verification is real or modeled.
+    /// A context for a state machine running *behind* a verifier stage
+    /// (paper Figure 9): inbound signature checks become constant-`true`
+    /// because [`crate::stage::VerifiedMessage`] proved them already, while
+    /// outbound signing stays real so peers can verify our votes.
+    pub fn preverified(mut self) -> CryptoCtx {
+        self.verify_inbound = false;
+        self
+    }
+
+    /// Whether inbound verification is real or delegated/modeled.
     pub fn checks_signatures(&self) -> bool {
-        self.check_sigs
+        self.verify_inbound
     }
 
     /// This node's public key.
@@ -48,7 +64,7 @@ impl CryptoCtx {
     /// inspect it, and the *cost* of signing is charged in virtual time by
     /// the simulator instead of on the host CPU.
     pub fn sign(&self, msg: &[u8]) -> Signature {
-        if !self.check_sigs {
+        if !self.sign_real {
             return Signature::default();
         }
         self.signer.sign(msg)
@@ -56,10 +72,19 @@ impl CryptoCtx {
 
     /// Verify a signature over raw bytes.
     pub fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
-        if !self.check_sigs {
+        if !self.verify_inbound {
             return true;
         }
         self.verifier.verify(pk, msg, sig)
+    }
+
+    /// Verify many signatures over the *same* payload (certificates, QCs)
+    /// in one batched pass over the key registry.
+    pub fn verify_many(&self, msg: &[u8], pairs: &[(PublicKey, Signature)]) -> bool {
+        if !self.verify_inbound {
+            return true;
+        }
+        self.verifier.verify_many(msg, pairs)
     }
 
     /// Verify a client's signature on a batch. No-op batches are primary
@@ -69,7 +94,7 @@ impl CryptoCtx {
         if sb.is_noop() {
             return true;
         }
-        if !self.check_sigs {
+        if !self.verify_inbound {
             return true;
         }
         self.verifier
@@ -85,7 +110,8 @@ impl CryptoCtx {
 impl std::fmt::Debug for CryptoCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CryptoCtx")
-            .field("check_sigs", &self.check_sigs)
+            .field("sign_real", &self.sign_real)
+            .field("verify_inbound", &self.verify_inbound)
             .finish()
     }
 }
@@ -153,6 +179,28 @@ mod tests {
         assert!(ctx.verify_batch(&bad));
         assert!(ctx.verify(&ctx.public_key(), b"m", &Signature::default()));
         assert!(!ctx.checks_signatures());
+    }
+
+    #[test]
+    fn preverified_trusts_inbound_but_signs_real() {
+        let (ctx, ks) = make_ctx(true);
+        let pre = ctx.clone().preverified();
+        // Inbound checks are delegated: even a bad batch passes.
+        let bad = signed_batch(&ks, false);
+        assert!(pre.verify_batch(&bad));
+        assert!(!pre.checks_signatures());
+        // Outbound signing stays real: the full ctx can verify it.
+        let sig = pre.sign(b"vote");
+        assert!(ctx.verify(&ctx.public_key(), b"vote", &sig));
+        assert_ne!(sig, Signature::default());
+    }
+
+    #[test]
+    fn verify_many_gates_on_inbound_mode() {
+        let (ctx, _ks) = make_ctx(true);
+        let bad = [(ctx.public_key(), Signature::default())];
+        assert!(!ctx.verify_many(b"payload", &bad));
+        assert!(ctx.clone().preverified().verify_many(b"payload", &bad));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod crypto_ctx;
 pub mod exec;
 pub mod messages;
 pub mod pbft_core;
+pub mod stage;
 pub mod types;
 
 pub mod geobft;
@@ -45,4 +46,5 @@ pub use certificate::{CommitCertificate, CommitSig};
 pub use config::{ExecMode, ProtocolConfig, ProtocolKind};
 pub use crypto_ctx::CryptoCtx;
 pub use messages::{Message, Scope};
+pub use stage::{Stage, VerificationCost, VerifiedMessage};
 pub use types::{ClientBatch, Decision, DecisionEntry, ReplyData, SignedBatch, Transaction};

@@ -1,0 +1,601 @@
+//! The Figure-9 pipeline vocabulary, shared by the threaded fabric
+//! (`resilientdb`) and the discrete-event simulator (`rdb-simnet`).
+//!
+//! The paper's central systems claim (§3, Figure 9) is that a replica is a
+//! *pipeline*: input threads receive messages, a pool of threads verifies
+//! signatures in parallel, a single worker orders, a dedicated thread
+//! executes, and output threads drain the network. For that split to be
+//! sound, verification must be *pure*: a function of the message bytes and
+//! the key material only, with no protocol state. This module factors that
+//! function out of the protocol `on_message` handlers:
+//!
+//! * [`Stage`] names the five stages so runtimes and metrics agree on the
+//!   vocabulary;
+//! * [`Message::verification_cost`] declares, per message, how much
+//!   signature/MAC work the verifier stage will spend (the simulator
+//!   charges exactly this on its modeled verifier pool);
+//! * [`Message::verify`] performs that work against a [`CryptoCtx`];
+//! * [`VerifiedMessage`] is the proof-carrying result handed to the
+//!   ordering stage, whose protocols run on a
+//!   [`CryptoCtx::preverified`] context and skip re-verification.
+//!
+//! Every signature check below mirrors the check the owning protocol used
+//! to perform inline — no stricter (valid traffic must not be dropped) and
+//! no weaker (the ordering stage trusts this stage completely). Protocol
+//! *state* checks (views, membership, quorum counting, digest/window
+//! bookkeeping) stay in the state machines.
+
+use crate::crypto_ctx::CryptoCtx;
+use crate::geobft::rvc_payload;
+use crate::hotstuff::{hs_vote_payload, skip_digest};
+use crate::messages::{HsQc, Message};
+use crate::pbft_core::scoped_commit_payload;
+use crate::steward::accept_payload;
+use crate::zyzzyva::spec_response_payload;
+use rdb_common::config::SystemConfig;
+use rdb_common::ids::NodeId;
+use rdb_crypto::sign::{PublicKey, Signature};
+
+/// One stage of the replica pipeline (paper Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Transport receive: envelopes enter the pipeline.
+    Input,
+    /// Parallel signature/MAC verification (fan-out pool).
+    Verify,
+    /// The ordering state machine (consensus worker).
+    Order,
+    /// Applying decisions to the store and the ledger.
+    Execute,
+    /// Draining outgoing messages to the transport.
+    Output,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Input,
+        Stage::Verify,
+        Stage::Order,
+        Stage::Execute,
+        Stage::Output,
+    ];
+
+    /// Stable index (for per-stage counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Input => 0,
+            Stage::Verify => 1,
+            Stage::Order => 2,
+            Stage::Execute => 3,
+            Stage::Output => 4,
+        }
+    }
+
+    /// Short label for metrics and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Input => "input",
+            Stage::Verify => "verify",
+            Stage::Order => "order",
+            Stage::Execute => "execute",
+            Stage::Output => "output",
+        }
+    }
+}
+
+/// Declared verification work for one message copy: how many signature
+/// verifications and MAC checks the verifier stage performs on receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerificationCost {
+    /// Digital-signature verifications (ED25519-priced).
+    pub sigs: u32,
+    /// MAC checks (AES-CMAC-priced).
+    pub macs: u32,
+}
+
+impl VerificationCost {
+    /// Total nanoseconds at the given unit prices.
+    pub fn ns(&self, verify_ns: u64, mac_ns: u64) -> u64 {
+        u64::from(self.sigs) * verify_ns + u64::from(self.macs) * mac_ns
+    }
+}
+
+impl Message {
+    /// How much crypto work receiving one copy of this message costs,
+    /// mirroring what [`Message::verify`] actually checks (plus the session
+    /// MAC on every authenticated channel message). Certificates and QCs
+    /// carry `n - f` individual signatures each receiver re-checks — the
+    /// paper omits threshold signatures (§3).
+    pub fn verification_cost(&self) -> VerificationCost {
+        match self {
+            // Client batch signature + session MAC.
+            Message::Request(_)
+            | Message::Forward(_)
+            | Message::PrePrepare { .. }
+            | Message::OrderReq { .. }
+            | Message::Commit { .. } => VerificationCost { sigs: 1, macs: 1 },
+            // MAC-authenticated control traffic.
+            Message::Prepare { .. }
+            | Message::Checkpoint { .. }
+            | Message::Drvc { .. }
+            | Message::LocalCommit { .. }
+            | Message::Reply { .. }
+            | Message::ViewChange { .. }
+            | Message::NewView { .. } => VerificationCost { sigs: 0, macs: 1 },
+            // Certificates: client signature + every commit signature.
+            Message::GlobalShare { cert } | Message::StewardProposal { cert, .. } => {
+                VerificationCost {
+                    sigs: 1 + cert.commits.len() as u32,
+                    macs: 1,
+                }
+            }
+            Message::Rvc { .. } | Message::SpecResponse { .. } => {
+                VerificationCost { sigs: 1, macs: 0 }
+            }
+            // The replicas validate a ZyzCommit against their own history
+            // digest instead of re-checking the embedded spec-response
+            // signatures (those bind the execution `result`, which the
+            // commit certificate does not carry) — so receipt costs one
+            // MAC, mirroring [`Message::verify`].
+            Message::ZyzCommit { .. } => VerificationCost { sigs: 0, macs: 1 },
+            Message::HsProposal { batch, justify, .. } => VerificationCost {
+                sigs: u32::from(batch.is_some())
+                    + justify.as_ref().map_or(0, |qc| qc.votes.len() as u32),
+                macs: 1,
+            },
+            Message::HsVote { .. } | Message::StewardLocalAccept { .. } => {
+                VerificationCost { sigs: 1, macs: 0 }
+            }
+            Message::StewardAccept { sigs, .. } => VerificationCost {
+                sigs: sigs.len() as u32,
+                macs: 0,
+            },
+            Message::Noop => VerificationCost { sigs: 0, macs: 0 },
+        }
+    }
+
+    /// Pure verification of this message as received from `from`: all the
+    /// signature checks the protocols would otherwise perform inside
+    /// `on_message`, and nothing stateful. Returns `false` for messages
+    /// that must be dropped (§2.1: "Replicas will discard any messages
+    /// that are not well-formed").
+    pub fn verify(&self, from: NodeId, system: &SystemConfig, ctx: &CryptoCtx) -> bool {
+        if !ctx.checks_signatures() {
+            return true;
+        }
+        match self {
+            Message::Request(sb) | Message::Forward(sb) => ctx.verify_batch(sb),
+            Message::PrePrepare { batch, digest, .. } => {
+                // Hash the batch once for both the binding check and the
+                // client-signature check (the worker hashes it again for
+                // its own bookkeeping; this stage must not hash twice).
+                let d = batch.digest();
+                d == *digest && verify_batch_with_digest(ctx, batch, &d)
+            }
+            Message::OrderReq { batch, .. } => ctx.verify_batch(batch),
+            Message::Commit {
+                scope,
+                seq,
+                digest,
+                sig,
+                ..
+            } => {
+                let payload = scoped_commit_payload(*scope, *seq, digest);
+                verify_one(ctx, from, &payload, sig)
+            }
+            Message::GlobalShare { cert } | Message::StewardProposal { cert, .. } => {
+                cert.verify(system, ctx)
+            }
+            Message::Rvc {
+                target,
+                round,
+                v,
+                requester,
+                sig,
+            } => {
+                // Forwarded within the target cluster, so the signer is
+                // the embedded requester, not the envelope sender.
+                let payload = rvc_payload(*target, *round, *v, *requester);
+                verify_one(ctx, (*requester).into(), &payload, sig)
+            }
+            Message::SpecResponse {
+                view,
+                seq,
+                replica,
+                digest,
+                history,
+                result,
+                sig,
+                ..
+            } => {
+                let payload = spec_response_payload(*view, *seq, digest, history, result);
+                verify_one(ctx, (*replica).into(), &payload, sig)
+            }
+            Message::HsProposal {
+                batch,
+                digest,
+                justify,
+                ..
+            } => {
+                if let Some(b) = batch {
+                    let d = b.digest();
+                    if d != *digest || !verify_batch_with_digest(ctx, b, &d) {
+                        return false;
+                    }
+                }
+                match justify {
+                    Some(qc) => verify_qc(ctx, qc),
+                    None => true,
+                }
+            }
+            Message::HsVote {
+                slot,
+                phase,
+                digest,
+                sig,
+                ..
+            } => {
+                // Skip votes are cast over the Prepare phase regardless of
+                // the phase field (see `hotstuff::handle_skip_vote`).
+                let payload = if *digest == skip_digest(*slot) {
+                    hs_vote_payload(*slot, crate::messages::HsPhase::Prepare, digest)
+                } else {
+                    hs_vote_payload(*slot, *phase, digest)
+                };
+                verify_one(ctx, from, &payload, sig)
+            }
+            Message::StewardLocalAccept {
+                seq, digest, sig, ..
+            } => {
+                // Representatives only accept these from their own
+                // cluster; the payload binds the sender's cluster.
+                let payload = accept_payload(from.cluster(), *seq, digest);
+                verify_one(ctx, from, &payload, sig)
+            }
+            Message::StewardAccept {
+                seq,
+                cluster,
+                digest,
+                sigs,
+            } => {
+                let payload = accept_payload(*cluster, *seq, digest);
+                verify_pairs(ctx, &payload, sigs.iter().map(|(r, s)| ((*r).into(), *s)))
+            }
+            // MAC-authenticated or unauthenticated traffic; prepared-proof
+            // digest binding in ViewChange/NewView is (re)checked by the
+            // state machine where the proofs are consumed.
+            Message::Reply { .. }
+            | Message::Prepare { .. }
+            | Message::Checkpoint { .. }
+            | Message::ViewChange { .. }
+            | Message::NewView { .. }
+            | Message::Drvc { .. }
+            | Message::LocalCommit { .. }
+            | Message::ZyzCommit { .. }
+            | Message::Noop => true,
+        }
+    }
+}
+
+/// [`CryptoCtx::verify_batch`] with the batch digest already in hand.
+fn verify_batch_with_digest(
+    ctx: &CryptoCtx,
+    sb: &crate::types::SignedBatch,
+    digest: &rdb_crypto::digest::Digest,
+) -> bool {
+    if sb.is_noop() {
+        return true;
+    }
+    ctx.verify(&sb.pubkey, digest.as_bytes(), &sb.sig)
+}
+
+fn verify_one(ctx: &CryptoCtx, signer: NodeId, payload: &[u8], sig: &Signature) -> bool {
+    let Some(pk) = ctx.verifier().public_key_of(signer) else {
+        return false;
+    };
+    ctx.verify(&pk, payload, sig)
+}
+
+fn verify_pairs(
+    ctx: &CryptoCtx,
+    payload: &[u8],
+    signers: impl Iterator<Item = (NodeId, Signature)>,
+) -> bool {
+    let mut pairs: Vec<(PublicKey, Signature)> = Vec::new();
+    for (node, sig) in signers {
+        let Some(pk) = ctx.verifier().public_key_of(node) else {
+            return false;
+        };
+        pairs.push((pk, sig));
+    }
+    ctx.verify_many(payload, &pairs)
+}
+
+fn verify_qc(ctx: &CryptoCtx, qc: &HsQc) -> bool {
+    let payload = hs_vote_payload(qc.slot, qc.phase, &qc.digest);
+    verify_pairs(
+        ctx,
+        &payload,
+        qc.votes.iter().map(|(r, s)| ((*r).into(), *s)),
+    )
+}
+
+/// A message whose signatures were checked by the verifier stage: the
+/// proof-carrying hand-off from [`Stage::Verify`] to [`Stage::Order`].
+#[derive(Debug, Clone)]
+pub struct VerifiedMessage {
+    from: NodeId,
+    msg: Message,
+}
+
+impl VerifiedMessage {
+    /// Verify `msg` from `from` and wrap it; `None` means the message is
+    /// malformed and must be dropped (never forwarded to the worker).
+    pub fn check(
+        system: &SystemConfig,
+        ctx: &CryptoCtx,
+        from: NodeId,
+        msg: Message,
+    ) -> Option<VerifiedMessage> {
+        if msg.verify(from, system, ctx) {
+            Some(VerifiedMessage { from, msg })
+        } else {
+            None
+        }
+    }
+
+    /// Wrap without checking — for drivers whose compute model charges
+    /// verification in virtual time instead (the simulator), and tests.
+    pub fn assume_verified(from: NodeId, msg: Message) -> VerifiedMessage {
+        VerifiedMessage { from, msg }
+    }
+
+    /// The envelope sender.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// The verified message.
+    pub fn message(&self) -> &Message {
+        &self.msg
+    }
+
+    /// Consume into `(from, msg)` for dispatch into the state machine.
+    pub fn into_parts(self) -> (NodeId, Message) {
+        (self.from, self.msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::{commit_payload, CommitCertificate, CommitSig};
+    use crate::messages::{HsPhase, Scope};
+    use crate::types::{ClientBatch, SignedBatch, Transaction};
+    use rdb_common::ids::{ClientId, ClusterId, ReplicaId};
+    use rdb_crypto::digest::Digest;
+    use rdb_crypto::sign::KeyStore;
+    use rdb_store::Operation;
+
+    struct Fixture {
+        system: SystemConfig,
+        ks: KeyStore,
+        ctx: CryptoCtx,
+    }
+
+    fn fixture() -> Fixture {
+        let system = SystemConfig::geo(2, 4).unwrap();
+        let ks = KeyStore::new(11);
+        let signer = ks.register(ReplicaId::new(0, 1).into());
+        let ctx = CryptoCtx::new(signer, ks.verifier(), true);
+        Fixture { system, ks, ctx }
+    }
+
+    fn signed_batch(ks: &KeyStore, client: ClientId, valid: bool) -> SignedBatch {
+        let signer = ks.register(client.into());
+        let batch = ClientBatch {
+            client,
+            batch_seq: 0,
+            txns: vec![Transaction {
+                client,
+                seq: 0,
+                op: Operation::NoOp,
+            }],
+        };
+        let digest = batch.digest();
+        let sig = if valid {
+            signer.sign(digest.as_bytes())
+        } else {
+            signer.sign(b"forged")
+        };
+        SignedBatch {
+            batch,
+            pubkey: signer.public_key(),
+            sig,
+        }
+    }
+
+    #[test]
+    fn stage_indices_are_dense_and_ordered() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert!(!s.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_matches_verified_work() {
+        let f = fixture();
+        let sb = signed_batch(&f.ks, ClientId::new(0, 0), true);
+        assert_eq!(
+            Message::Request(sb.clone()).verification_cost(),
+            VerificationCost { sigs: 1, macs: 1 }
+        );
+        let cert = CommitCertificate {
+            cluster: ClusterId(0),
+            round: 1,
+            digest: sb.digest(),
+            batch: sb,
+            commits: (0..3)
+                .map(|i| CommitSig {
+                    replica: ReplicaId::new(0, i),
+                    sig: Signature::default(),
+                })
+                .collect(),
+        };
+        assert_eq!(
+            Message::GlobalShare { cert }.verification_cost(),
+            VerificationCost { sigs: 4, macs: 1 }
+        );
+        assert_eq!(
+            Message::Noop.verification_cost(),
+            VerificationCost::default()
+        );
+        // 1 sig (ED25519) must dominate macs at realistic prices.
+        assert_eq!(
+            VerificationCost { sigs: 2, macs: 3 }.ns(60_000, 1_000),
+            123_000
+        );
+    }
+
+    #[test]
+    fn request_verification_accepts_valid_and_drops_forged() {
+        let f = fixture();
+        let good = signed_batch(&f.ks, ClientId::new(0, 0), true);
+        let bad = signed_batch(&f.ks, ClientId::new(0, 1), false);
+        let from: NodeId = ClientId::new(0, 0).into();
+        assert!(Message::Request(good).verify(from, &f.system, &f.ctx));
+        assert!(!Message::Request(bad).verify(from, &f.system, &f.ctx));
+    }
+
+    #[test]
+    fn preprepare_checks_digest_binding() {
+        let f = fixture();
+        let sb = signed_batch(&f.ks, ClientId::new(0, 0), true);
+        let from: NodeId = ReplicaId::new(0, 0).into();
+        let ok = Message::PrePrepare {
+            scope: Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: sb.digest(),
+            batch: sb.clone(),
+        };
+        assert!(ok.verify(from, &f.system, &f.ctx));
+        let mismatched = Message::PrePrepare {
+            scope: Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::of(b"other"),
+            batch: sb,
+        };
+        assert!(!mismatched.verify(from, &f.system, &f.ctx));
+    }
+
+    #[test]
+    fn commit_signature_must_match_sender() {
+        let f = fixture();
+        let sender = ReplicaId::new(0, 2);
+        let signer = f.ks.register(sender.into());
+        let digest = Digest::of(b"batch");
+        let payload = scoped_commit_payload(Scope::Cluster(ClusterId(0)), 3, &digest);
+        let msg = |sig| Message::Commit {
+            scope: Scope::Cluster(ClusterId(0)),
+            view: 0,
+            seq: 3,
+            digest,
+            sig,
+        };
+        assert!(msg(signer.sign(&payload)).verify(sender.into(), &f.system, &f.ctx));
+        assert!(!msg(Signature::default()).verify(sender.into(), &f.system, &f.ctx));
+        // Same signature presented as another replica fails.
+        let other = ReplicaId::new(0, 3);
+        let _ = f.ks.register(other.into());
+        assert!(!msg(signer.sign(&payload)).verify(other.into(), &f.system, &f.ctx));
+    }
+
+    #[test]
+    fn certificate_messages_verify_end_to_end() {
+        let f = fixture();
+        let sb = signed_batch(&f.ks, ClientId::new(0, 7), true);
+        let digest = sb.digest();
+        let payload = commit_payload(ClusterId(0), 1, &digest);
+        let commits: Vec<CommitSig> = (0..3)
+            .map(|i| {
+                let r = ReplicaId::new(0, i);
+                let s = if i == 1 {
+                    // Re-use the fixture's own signer for its id.
+                    f.ctx.sign(&payload)
+                } else {
+                    f.ks.register(r.into()).sign(&payload)
+                };
+                CommitSig { replica: r, sig: s }
+            })
+            .collect();
+        let cert = CommitCertificate {
+            cluster: ClusterId(0),
+            round: 1,
+            digest,
+            batch: sb,
+            commits,
+        };
+        let from: NodeId = ReplicaId::new(0, 0).into();
+        assert!(Message::GlobalShare { cert: cert.clone() }.verify(from, &f.system, &f.ctx));
+        let mut tampered = cert;
+        tampered.commits[0].sig = Signature::default();
+        assert!(!Message::GlobalShare { cert: tampered }.verify(from, &f.system, &f.ctx));
+    }
+
+    #[test]
+    fn hotstuff_vote_and_skip_vote_verify() {
+        let f = fixture();
+        let voter = ReplicaId::new(1, 0);
+        let signer = f.ks.register(voter.into());
+        let digest = Digest::of(b"proposal");
+        let vote = Message::HsVote {
+            slot: 5,
+            phase: HsPhase::PreCommit,
+            digest,
+            replica: voter,
+            sig: signer.sign(&hs_vote_payload(5, HsPhase::PreCommit, &digest)),
+        };
+        assert!(vote.verify(voter.into(), &f.system, &f.ctx));
+        // Skip votes sign the Prepare payload over the skip digest.
+        let sd = skip_digest(9);
+        let skip = Message::HsVote {
+            slot: 9,
+            phase: HsPhase::Commit,
+            digest: sd,
+            replica: voter,
+            sig: signer.sign(&hs_vote_payload(9, HsPhase::Prepare, &sd)),
+        };
+        assert!(skip.verify(voter.into(), &f.system, &f.ctx));
+    }
+
+    #[test]
+    fn modeled_contexts_accept_everything() {
+        let system = SystemConfig::geo(1, 4).unwrap();
+        let ks = KeyStore::new(3);
+        let signer = ks.register(ReplicaId::new(0, 0).into());
+        let ctx = CryptoCtx::new(signer, ks.verifier(), false);
+        let bad = signed_batch(&ks, ClientId::new(0, 0), false);
+        let from: NodeId = ClientId::new(0, 0).into();
+        assert!(Message::Request(bad).verify(from, &system, &ctx));
+    }
+
+    #[test]
+    fn verified_message_wraps_only_valid_traffic() {
+        let f = fixture();
+        let good = signed_batch(&f.ks, ClientId::new(1, 0), true);
+        let bad = signed_batch(&f.ks, ClientId::new(1, 1), false);
+        let from: NodeId = ClientId::new(1, 0).into();
+        let vm = VerifiedMessage::check(&f.system, &f.ctx, from, Message::Request(good.clone()))
+            .expect("valid request passes");
+        assert_eq!(vm.from(), from);
+        assert!(matches!(vm.message(), Message::Request(_)));
+        let (got_from, got_msg) = vm.into_parts();
+        assert_eq!(got_from, from);
+        assert_eq!(got_msg, Message::Request(good));
+        assert!(VerifiedMessage::check(&f.system, &f.ctx, from, Message::Request(bad)).is_none());
+    }
+}

@@ -1,7 +1,8 @@
 //! Full in-process deployments: build, run, measure, audit.
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StageSnapshot};
 use crate::node::{ClientRuntime, ReplicaRuntime};
+use crate::pipeline::{PipelineConfig, VerifyCtx};
 use crate::transport::{DelayFn, InProcTransport};
 use rdb_common::config::SystemConfig;
 use rdb_common::ids::{ClientId, NodeId, ReplicaId};
@@ -32,6 +33,7 @@ pub struct DeploymentBuilder {
     progress_timeout: SimDuration,
     client_retry: SimDuration,
     remote_timeout: SimDuration,
+    pipeline: PipelineConfig,
 }
 
 impl DeploymentBuilder {
@@ -52,7 +54,16 @@ impl DeploymentBuilder {
             progress_timeout: SimDuration::from_millis(2_000),
             client_retry: SimDuration::from_millis(4_000),
             remote_timeout: SimDuration::from_millis(1_500),
+            pipeline: PipelineConfig::default(),
         }
+    }
+
+    /// Verifier-stage fan-out per replica (paper Figure 9). Unset, the
+    /// pool is sized to the host: `(cores / 4).clamp(1, 4)` — see
+    /// [`PipelineConfig::default`].
+    pub fn verifier_threads(mut self, n: usize) -> Self {
+        self.pipeline = PipelineConfig::with_verifiers(n);
+        self
     }
 
     /// Transactions per client batch.
@@ -127,23 +138,42 @@ impl DeploymentBuilder {
             ..YcsbConfig::default()
         };
 
-        let transport = InProcTransport::new(self.delay.clone());
-        let ks = KeyStore::new(self.seed);
         let metrics = Metrics::new();
-        let epoch = Instant::now();
+        let transport = InProcTransport::with_metrics(self.delay.clone(), Some(metrics.clone()));
+        let ks = KeyStore::new(self.seed);
 
-        let mut replicas = Vec::new();
+        // Build every replica's state (keys, preloaded stores, protocol)
+        // before starting the clock: store preloading is setup, not run.
+        let mut prepared = Vec::new();
         for rid in system.all_replicas().collect::<Vec<_>>() {
             let signer = ks.register(rid.into());
             let crypto = CryptoCtx::new(signer, ks.verifier(), self.check_sigs);
             let store = KvStore::with_ycsb_records(self.records);
-            let protocol = registry::build_replica(self.kind, cfg.clone(), rid, crypto, store);
+            // The verifier stage checks inbound signatures with the full
+            // context; the worker's state machine runs pre-verified. The
+            // execution stage gets its own identically-preloaded table.
+            let verify = VerifyCtx {
+                crypto: crypto.clone(),
+                system: system.clone(),
+            };
+            let exec_store = KvStore::with_ycsb_records(self.records);
+            let protocol =
+                registry::build_replica(self.kind, cfg.clone(), rid, crypto.preverified(), store);
             let handle = transport.register(rid.into());
+            prepared.push((protocol, handle, verify, exec_store));
+        }
+
+        let epoch = Instant::now();
+        let mut replicas = Vec::new();
+        for (protocol, handle, verify, exec_store) in prepared {
             replicas.push(ReplicaRuntime::spawn(
                 protocol,
                 handle,
                 metrics.clone(),
                 epoch,
+                verify,
+                exec_store,
+                self.pipeline,
             ));
         }
 
@@ -179,11 +209,13 @@ impl DeploymentBuilder {
             c.stop();
         }
         let mut ledgers = HashMap::new();
+        let mut exec_state_digests = HashMap::new();
         for r in replicas {
             let node = r.node();
-            let ledger = r.stop();
+            let (ledger, exec_digest) = r.stop();
             if let NodeId::Replica(rid) = node {
                 ledgers.insert(rid, ledger);
+                exec_state_digests.insert(rid, exec_digest);
             }
         }
         for t in crash_threads {
@@ -196,6 +228,8 @@ impl DeploymentBuilder {
             kind: self.kind,
             system,
             crypto_sample: None,
+            pipeline: self.pipeline,
+            stages: metrics.stage_snapshot(),
             elapsed,
             throughput_txn_s: metrics.completed_txns() as f64 / elapsed.as_secs_f64(),
             completed_batches: metrics.completed_batches(),
@@ -205,6 +239,7 @@ impl DeploymentBuilder {
             avg_latency: metrics.avg_latency(),
             p99_latency: metrics.latency_percentile(0.99),
             ledgers,
+            exec_state_digests,
             crashed: self.crash_after.iter().map(|(r, _)| *r).collect(),
         }
     }
@@ -218,6 +253,11 @@ pub struct DeploymentReport {
     pub system: SystemConfig,
     /// Reserved for crypto sampling extensions.
     pub crypto_sample: Option<()>,
+    /// Thread layout the replicas ran with.
+    pub pipeline: PipelineConfig,
+    /// Per-stage pipeline counters, summed over all replicas (processed
+    /// counts, verification drops, queue depths, busy time).
+    pub stages: StageSnapshot,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-observed throughput.
@@ -236,11 +276,53 @@ pub struct DeploymentReport {
     pub p99_latency: Duration,
     /// Final ledger of every replica.
     pub ledgers: HashMap<ReplicaId, Ledger>,
+    /// State digest of each replica's execution-stage table after the run
+    /// — equals the last appended block's `state_digest` (the ordering
+    /// state machine executed the same decisions against an identically
+    /// preloaded store); see [`DeploymentReport::audit_execution_stage`].
+    pub exec_state_digests: HashMap<ReplicaId, rdb_crypto::digest::Digest>,
     /// Replicas crashed during the run.
     pub crashed: Vec<ReplicaId>,
 }
 
 impl DeploymentReport {
+    /// Check that every non-crashed replica's execution-stage table ended
+    /// at exactly the state its ledger head claims: the off-critical-path
+    /// materialization replayed the same decisions to the same result.
+    /// Replicas that committed nothing are skipped (their table is still
+    /// the preload).
+    pub fn audit_execution_stage(&self) -> Result<(), String> {
+        for (rid, ledger) in &self.ledgers {
+            if self.crashed.contains(rid) || ledger.head_height() == 0 {
+                continue;
+            }
+            let expected = ledger
+                .block(ledger.head_height())
+                .expect("head present")
+                .state_digest;
+            match self.exec_state_digests.get(rid) {
+                Some(got) if *got == expected => {}
+                Some(got) => {
+                    return Err(format!(
+                        "replica {rid}: execution-stage state {got:?} != ledger head state {expected:?}"
+                    ));
+                }
+                None => return Err(format!("replica {rid}: no execution-stage digest")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean ordering-worker occupancy: the fraction of the run each
+    /// replica's worker thread spent inside the state machine. The
+    /// `pipeline` bench plots this against verifier fan-out.
+    pub fn worker_occupancy(&self) -> f64 {
+        let replicas = self.system.z() * self.system.n();
+        self.stages
+            .row(rdb_consensus::stage::Stage::Order)
+            .occupancy(self.elapsed, replicas)
+    }
+
     /// The common committed prefix length across non-crashed replicas
     /// (number of blocks, excluding genesis).
     pub fn common_prefix_blocks(&self) -> u64 {

@@ -1,35 +1,66 @@
 //! # resilientdb
 //!
-//! The ResilientDB fabric (§3 of the paper): a multi-threaded, pipelined
+//! The ResilientDB fabric (§3 of the paper): a multi-threaded, staged
 //! runtime that executes the consensus state machines of `rdb-consensus`
 //! on real OS threads over a pluggable transport, maintains the
 //! blockchain ledger, and serves closed-loop clients.
 //!
-//! The paper's Figure 9 architecture associates input threads, a batching
-//! thread, worker/certify/execute threads and output threads with every
-//! replica. This implementation keeps that pipeline shape per node:
+//! ## The Figure-9 pipeline
 //!
-//! * an **input thread** receives envelopes from the transport and feeds
-//!   the work queue,
-//! * a **worker thread** owns the protocol state machine (worker, certify
-//!   and execute stages of Figure 9 — the sans-io state machines already
-//!   integrate certification and execution), fires timers, and appends
-//!   finalized decisions to the node's ledger,
-//! * an **output thread** drains outgoing messages to the transport, so
-//!   network pressure never stalls consensus processing.
+//! The paper's architecture diagram (Figure 9) associates input threads,
+//! parallel batching/verification threads, worker threads, execution
+//! threads and output threads with every replica, and credits this staged
+//! design — not protocol cleverness — for most of the system's
+//! throughput. Each [`node::ReplicaRuntime`] realizes that pipeline:
 //!
-//! Clients run the same way on their own threads. The
+//! ```text
+//! transport ─▶ input ─▶ [verify ×N] ─▶ worker ─▶ execute ─▶ ledger
+//!                                        │
+//!                                        └─────▶ output ─▶ transport
+//! ```
+//!
+//! * the **input thread** receives envelopes from the transport and feeds
+//!   the verification queue (Figure 9 "input");
+//! * a pool of **verifier threads** ([`pipeline::PipelineConfig`]
+//!   `verifier_threads`, default sized to the host's cores) drains that
+//!   queue in batches and runs
+//!   the pure signature/MAC checks that `rdb-consensus` factors out as
+//!   [`rdb_consensus::stage::VerifiedMessage`]. Malformed traffic dies
+//!   here (§2.1); the worker never sees it (Figure 9 "batching");
+//! * the **worker thread** owns the protocol state machine and timers —
+//!   ordering only. It runs on a
+//!   [`rdb_consensus::crypto_ctx::CryptoCtx::preverified`] context, so it
+//!   spends no cycles re-checking signatures (Figure 9 "worker/certify");
+//! * the **execution thread** applies finalized decisions to the
+//!   replica's `rdb-store` table and appends them to the `rdb-ledger`
+//!   chain, off the consensus critical path (Figure 9 "execute");
+//! * the **output thread** drains outgoing messages to the transport, so
+//!   network pressure never stalls consensus processing (Figure 9
+//!   "output").
+//!
+//! Every stage hand-off is counted in [`metrics::Metrics`]: per-stage
+//! `enqueued` / `processed` / `dropped` counters (their difference is the
+//! live queue depth) and accumulated busy time, exposed as
+//! [`metrics::StageSnapshot`] on every [`deployment::DeploymentReport`].
+//! `rdb-simnet` models the *same* stage layout in virtual time
+//! (`ComputeModel::pipeline`), so simulated and real runs share one
+//! pipeline abstraction end to end.
+//!
+//! Clients run closed-loop on their own threads. The
 //! [`deployment::DeploymentBuilder`] assembles a full system in-process —
 //! with real signatures, real execution against the YCSB store, and
 //! optionally injected WAN delays — and reports client-observed
-//! throughput/latency plus per-replica ledgers.
+//! throughput/latency, per-stage pipeline counters and per-replica
+//! ledgers.
 
 pub mod deployment;
 pub mod metrics;
 pub mod node;
+pub mod pipeline;
 pub mod transport;
 
 pub use deployment::{DeploymentBuilder, DeploymentReport};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, StageRow, StageSnapshot};
 pub use node::{ClientRuntime, ReplicaRuntime};
+pub use pipeline::{PipelineConfig, VerifyCtx};
 pub use transport::{Envelope, InProcTransport, TransportHandle};

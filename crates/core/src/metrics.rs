@@ -1,6 +1,14 @@
-//! Shared runtime metrics collected across node and client threads.
+//! Shared runtime metrics collected across node and client threads,
+//! including per-stage pipeline counters (paper Figure 9).
+//!
+//! Each pipeline stage ([`Stage`]) gets three queue counters — `enqueued`,
+//! `processed`, `dropped` — whose difference is the instantaneous queue
+//! depth, plus an accumulated busy time. Occupancy (busy time divided by
+//! wall-clock and thread count) is what the `pipeline` bench plots against
+//! verifier fan-out.
 
 use parking_lot::Mutex;
+use rdb_consensus::stage::Stage;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -12,12 +20,35 @@ pub struct Metrics {
 }
 
 #[derive(Default)]
+struct StageCell {
+    enqueued: AtomicU64,
+    processed: AtomicU64,
+    dropped: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+struct StageTable([StageCell; 5]);
+
+impl Default for StageTable {
+    fn default() -> Self {
+        StageTable(std::array::from_fn(|_| StageCell::default()))
+    }
+}
+
+#[derive(Default)]
 struct Inner {
     completed_batches: AtomicU64,
     completed_txns: AtomicU64,
     decided: AtomicU64,
     messages_sent: AtomicU64,
     latencies_ns: Mutex<Vec<u64>>,
+    stages: StageTable,
+}
+
+impl Inner {
+    fn cell(&self, stage: Stage) -> &StageCell {
+        &self.stages.0[stage.index()]
+    }
 }
 
 impl Metrics {
@@ -47,6 +78,88 @@ impl Metrics {
     pub fn record_message(&self) {
         self.inner.messages_sent.fetch_add(1, Ordering::Relaxed);
     }
+
+    // ------------------------------------------------- pipeline stages --
+
+    /// An item entered `stage`'s queue.
+    pub fn stage_enqueued(&self, stage: Stage) {
+        self.stage_enqueued_many(stage, 1);
+    }
+
+    /// `n` items entered `stage`'s queue (batched hot-path accounting).
+    pub fn stage_enqueued_many(&self, stage: Stage, n: u64) {
+        if n > 0 {
+            self.inner
+                .cell(stage)
+                .enqueued
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// `stage` finished one item after `busy` of work.
+    pub fn stage_processed(&self, stage: Stage, busy: Duration) {
+        self.stage_batch(stage, 1, 0, busy);
+    }
+
+    /// `stage` dropped one item (e.g. a failed signature check).
+    pub fn stage_dropped(&self, stage: Stage) {
+        self.stage_batch(stage, 0, 1, Duration::ZERO);
+    }
+
+    /// `stage` finished a batch: `processed` items passed on, `dropped`
+    /// items discarded, `busy` spent on the whole batch.
+    pub fn stage_batch(&self, stage: Stage, processed: u64, dropped: u64, busy: Duration) {
+        let cell = self.inner.cell(stage);
+        if processed > 0 {
+            cell.processed.fetch_add(processed, Ordering::Relaxed);
+        }
+        if dropped > 0 {
+            cell.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        let ns = busy.as_nanos() as u64;
+        if ns > 0 {
+            cell.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Items currently queued before `stage` (enqueued minus finished).
+    pub fn queue_depth(&self, stage: Stage) -> u64 {
+        let cell = self.inner.cell(stage);
+        cell.enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(cell.processed.load(Ordering::Relaxed))
+            .saturating_sub(cell.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Accumulated busy time of `stage` across all threads serving it.
+    pub fn stage_busy(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.inner.cell(stage).busy_ns.load(Ordering::Relaxed))
+    }
+
+    /// A consistent-enough copy of all per-stage counters.
+    pub fn stage_snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            rows: Stage::ALL
+                .iter()
+                .map(|&stage| {
+                    let cell = self.inner.cell(stage);
+                    let enqueued = cell.enqueued.load(Ordering::Relaxed);
+                    let processed = cell.processed.load(Ordering::Relaxed);
+                    let dropped = cell.dropped.load(Ordering::Relaxed);
+                    StageRow {
+                        stage,
+                        enqueued,
+                        processed,
+                        dropped,
+                        queue_depth: enqueued.saturating_sub(processed).saturating_sub(dropped),
+                        busy: Duration::from_nanos(cell.busy_ns.load(Ordering::Relaxed)),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    // ----------------------------------------------------- aggregates --
 
     /// Completed client batches.
     pub fn completed_batches(&self) -> u64 {
@@ -90,6 +203,65 @@ impl Metrics {
     }
 }
 
+/// Point-in-time copy of every stage's counters.
+#[derive(Debug, Clone)]
+pub struct StageSnapshot {
+    /// One row per [`Stage`], in pipeline order.
+    pub rows: Vec<StageRow>,
+}
+
+impl StageSnapshot {
+    /// The row for `stage`.
+    pub fn row(&self, stage: Stage) -> &StageRow {
+        &self.rows[stage.index()]
+    }
+
+    /// One-line summary (stage: processed/dropped/depth busy).
+    pub fn summary(&self) -> String {
+        self.rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}: {}p/{}d q={} busy={:?}",
+                    r.stage.label(),
+                    r.processed,
+                    r.dropped,
+                    r.queue_depth,
+                    r.busy
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// Counters of one stage.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Which stage.
+    pub stage: Stage,
+    /// Items that entered the stage's queue.
+    pub enqueued: u64,
+    /// Items the stage finished and passed downstream.
+    pub processed: u64,
+    /// Items the stage discarded (failed verification).
+    pub dropped: u64,
+    /// Items still queued at snapshot time.
+    pub queue_depth: u64,
+    /// Accumulated busy time across the stage's threads.
+    pub busy: Duration,
+}
+
+impl StageRow {
+    /// Fraction of `elapsed` this stage was busy, per serving thread.
+    pub fn occupancy(&self, elapsed: Duration, threads: usize) -> f64 {
+        if elapsed.is_zero() || threads == 0 {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (elapsed.as_secs_f64() * threads as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +294,39 @@ mod tests {
         let m2 = m.clone();
         m2.record_decision();
         assert_eq!(m.decided(), 1);
+    }
+
+    #[test]
+    fn stage_counters_track_depth_and_busy() {
+        let m = Metrics::new();
+        for _ in 0..5 {
+            m.stage_enqueued(Stage::Verify);
+        }
+        m.stage_processed(Stage::Verify, Duration::from_micros(50));
+        m.stage_processed(Stage::Verify, Duration::from_micros(30));
+        m.stage_dropped(Stage::Verify);
+        assert_eq!(m.queue_depth(Stage::Verify), 2);
+        assert_eq!(m.stage_busy(Stage::Verify), Duration::from_micros(80));
+        let snap = m.stage_snapshot();
+        let row = snap.row(Stage::Verify);
+        assert_eq!(row.enqueued, 5);
+        assert_eq!(row.processed, 2);
+        assert_eq!(row.dropped, 1);
+        assert_eq!(row.queue_depth, 2);
+        // Untouched stages stay zero.
+        assert_eq!(snap.row(Stage::Execute).enqueued, 0);
+        assert!(!snap.summary().is_empty());
+    }
+
+    #[test]
+    fn occupancy_normalizes_by_threads() {
+        let m = Metrics::new();
+        m.stage_batch(Stage::Order, 10, 0, Duration::from_millis(500));
+        let row = m.stage_snapshot().row(Stage::Order).clone();
+        let one = row.occupancy(Duration::from_secs(1), 1);
+        let two = row.occupancy(Duration::from_secs(1), 2);
+        assert!((one - 0.5).abs() < 1e-9);
+        assert!((two - 0.25).abs() < 1e-9);
+        assert_eq!(row.occupancy(Duration::ZERO, 1), 0.0);
     }
 }

@@ -1,24 +1,48 @@
-//! Node runtimes: the per-replica and per-client thread pipelines.
+//! Node runtimes: the per-replica staged pipeline and the per-client
+//! thread loop.
+//!
+//! A replica runs the full Figure-9 pipeline (see the crate docs):
+//! input → verifier pool → ordering worker → execution → output, each on
+//! its own OS thread(s), connected by unbounded MPMC channels and metered
+//! by per-stage counters in [`Metrics`].
 
 use crate::metrics::Metrics;
-use crate::transport::{Envelope, TransportHandle};
+use crate::pipeline::{spawn_executor, spawn_verifiers, PipelineConfig, VerifyCtx};
+use crate::transport::TransportHandle;
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use rdb_common::ids::NodeId;
 use rdb_common::time::SimTime;
 use rdb_consensus::api::{Action, ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
 use rdb_consensus::messages::Message;
+use rdb_consensus::stage::Stage;
+use rdb_consensus::types::Decision;
 use rdb_ledger::Ledger;
-use std::collections::HashMap;
+use rdb_store::KvStore;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Below this size the wheel never bothers compacting.
+const WHEEL_MIN_WATERMARK: usize = 64;
+
 /// Timer bookkeeping shared by both runtimes.
+///
+/// Cancellation is generation-based: cancelling (or re-arming) a kind
+/// bumps its generation, orphaning any heap entry carrying the old one.
+/// Per-request kinds (`ClientRetry{seq}`, `SpecWindow{seq}`) mint a fresh
+/// kind per sequence number, so on long runs the orphaned heap entries and
+/// the `gens` slots would otherwise grow without bound; once the
+/// structures outgrow a watermark, [`TimerWheel::compact`] rebuilds them
+/// keeping only live entries.
 struct TimerWheel {
     epoch: Instant,
     heap: std::collections::BinaryHeap<std::cmp::Reverse<(Instant, u64, TimerKind)>>,
     gens: HashMap<TimerKind, u64>,
+    /// Compact when `heap` or `gens` outgrow this; doubled after each
+    /// compaction so the amortized cost stays O(log n) per operation.
+    watermark: usize,
 }
 
 impl TimerWheel {
@@ -27,6 +51,7 @@ impl TimerWheel {
             epoch,
             heap: std::collections::BinaryHeap::new(),
             gens: HashMap::new(),
+            watermark: WHEEL_MIN_WATERMARK,
         }
     }
 
@@ -34,15 +59,51 @@ impl TimerWheel {
         SimTime(self.epoch.elapsed().as_nanos() as u64)
     }
 
+    /// The virtual time of an already-taken [`Instant`] (hot paths reuse
+    /// one clock read for virtual time and busy accounting).
+    fn time_of(&self, t: Instant) -> SimTime {
+        SimTime(t.saturating_duration_since(self.epoch).as_nanos() as u64)
+    }
+
     fn set(&mut self, kind: TimerKind, after: rdb_common::time::SimDuration) {
         let gen = self.gens.entry(kind).or_insert(0);
         *gen += 1;
         let due = Instant::now() + Duration::from_nanos(after.as_nanos());
         self.heap.push(std::cmp::Reverse((due, *gen, kind)));
+        self.maybe_compact();
     }
 
     fn cancel(&mut self, kind: TimerKind) {
         *self.gens.entry(kind).or_insert(0) += 1;
+        self.maybe_compact();
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.heap.len().max(self.gens.len()) > self.watermark {
+            self.compact();
+        }
+    }
+
+    /// Drop heap entries whose generation is stale, then forget
+    /// generations with no remaining heap entry. The latter is safe
+    /// exactly because the former ran first: a kind re-armed later
+    /// restarts at generation 1 and no orphaned entry that could match it
+    /// survives compaction.
+    fn compact(&mut self) {
+        let gens = &self.gens;
+        let live: Vec<_> = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .filter(|std::cmp::Reverse((_, gen, kind))| gens.get(kind).copied() == Some(*gen))
+            .collect();
+        self.heap = live.into();
+        let live_kinds: HashSet<TimerKind> = self
+            .heap
+            .iter()
+            .map(|std::cmp::Reverse((_, _, kind))| *kind)
+            .collect();
+        self.gens.retain(|kind, _| live_kinds.contains(kind));
+        self.watermark = (self.heap.len() * 2).max(WHEEL_MIN_WATERMARK);
     }
 
     /// Pop all due timers whose generation is current.
@@ -70,52 +131,74 @@ impl TimerWheel {
             None => Duration::from_millis(20),
         }
     }
+
+    #[cfg(test)]
+    fn sizes(&self) -> (usize, usize) {
+        (self.heap.len(), self.gens.len())
+    }
 }
 
-/// A running replica: input thread + worker thread + output thread
-/// (paper Figure 9; see the crate docs for the mapping).
+/// A running replica: the staged pipeline of paper Figure 9.
+///
+/// ```text
+/// transport ─▶ inbox ─▶ [verify ×N] ─▶ worker ─▶ execute ─▶ ledger
+///   (input)                              │
+///                                        └────▶ output ─▶ transport
+/// ```
+///
+/// The transport's delivery into the node's inbox *is* the input stage
+/// (in-process there is no socket to drain, so a dedicated forwarding
+/// thread would only add a hand-off); the verifier pool consumes the
+/// inbox directly.
 pub struct ReplicaRuntime {
     node: NodeId,
     shutdown: Arc<AtomicBool>,
-    input_handle: JoinHandle<()>,
-    worker_handle: JoinHandle<Ledger>,
+    verifier_handles: Vec<JoinHandle<()>>,
+    worker_handle: JoinHandle<()>,
+    exec_handle: JoinHandle<(Ledger, rdb_crypto::digest::Digest)>,
     output_handle: JoinHandle<()>,
 }
 
 impl ReplicaRuntime {
     /// Spawn the pipeline for `protocol` on `handle`.
+    ///
+    /// `protocol` should be built on a
+    /// [`rdb_consensus::crypto_ctx::CryptoCtx::preverified`] context: the
+    /// verifier pool (driven by `verify`, the *full* context) has already
+    /// checked every signature the worker would otherwise re-check.
+    /// `exec_store` is the execution stage's state table (preloaded like
+    /// the protocol's own store so state digests line up).
     pub fn spawn(
         mut protocol: Box<dyn ReplicaProtocol>,
         handle: TransportHandle,
         metrics: Metrics,
         epoch: Instant,
+        verify: VerifyCtx,
+        exec_store: KvStore,
+        pipeline: PipelineConfig,
     ) -> ReplicaRuntime {
         let node = handle.node;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (work_tx, work_rx) = unbounded::<Envelope>();
+        let (work_tx, work_rx) = unbounded::<rdb_consensus::stage::VerifiedMessage>();
+        let (exec_tx, exec_rx) = unbounded::<Decision>();
         let (out_tx, out_rx) = unbounded::<(NodeId, Message)>();
 
-        // Input thread: transport -> work queue.
-        let inbox = handle.inbox.clone();
-        let stop = Arc::clone(&shutdown);
-        let input_handle = std::thread::Builder::new()
-            .name(format!("{node}-input"))
-            .spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    match inbox.recv_timeout(Duration::from_millis(20)) {
-                        Ok(env) => {
-                            if work_tx.send(env).is_err() {
-                                break;
-                            }
-                        }
-                        Err(RecvTimeoutError::Timeout) => {}
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-            })
-            .expect("spawn input thread");
+        // Input + verify stages: N parallel threads draining the transport
+        // inbox with batched signature checks.
+        let verifier_handles = spawn_verifiers(
+            node,
+            pipeline,
+            verify,
+            handle.inbox.clone(),
+            work_tx,
+            metrics.clone(),
+            Arc::clone(&shutdown),
+        );
 
-        // Output thread: output queue -> transport.
+        // Execute stage: decisions -> store + ledger, off the worker path.
+        let exec_handle = spawn_executor(node, exec_store, exec_rx, metrics.clone());
+
+        // Output stage: output queue -> transport.
         let stop = Arc::clone(&shutdown);
         let out_metrics = metrics.clone();
         let output_handle = std::thread::Builder::new()
@@ -126,6 +209,7 @@ impl ReplicaRuntime {
                         Ok((to, msg)) => {
                             out_metrics.record_message();
                             handle.send(to, msg);
+                            out_metrics.stage_processed(Stage::Output, Duration::ZERO);
                         }
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => break,
@@ -134,60 +218,62 @@ impl ReplicaRuntime {
             })
             .expect("spawn output thread");
 
-        // Worker thread: the state machine, timers, the ledger.
+        // Order stage: the state machine and timers, nothing else.
         let stop = Arc::clone(&shutdown);
         let worker_metrics = metrics;
         let worker_handle = std::thread::Builder::new()
             .name(format!("{node}-worker"))
             .spawn(move || {
                 let mut wheel = TimerWheel::new(epoch);
-                let mut ledger = Ledger::new();
                 let mut out = Outbox::new();
                 protocol.on_start(wheel.now(), &mut out);
-                process_replica_actions(
-                    out.take(),
-                    &mut wheel,
-                    &out_tx,
-                    &mut ledger,
-                    &worker_metrics,
-                );
+                process_replica_actions(out.take(), &mut wheel, &out_tx, &exec_tx, &worker_metrics);
                 while !stop.load(Ordering::Relaxed) {
                     match work_rx.recv_timeout(wheel.next_wait()) {
-                        Ok(env) => {
+                        Ok(vm) => {
+                            // One clock read serves both the protocol's
+                            // virtual time and the busy measurement.
+                            let t0 = Instant::now();
+                            let now = wheel.time_of(t0);
+                            let (from, msg) = vm.into_parts();
                             let mut out = Outbox::new();
-                            protocol.on_message(wheel.now(), env.from, env.msg, &mut out);
+                            protocol.on_message(now, from, msg, &mut out);
                             process_replica_actions(
                                 out.take(),
                                 &mut wheel,
                                 &out_tx,
-                                &mut ledger,
+                                &exec_tx,
                                 &worker_metrics,
                             );
+                            worker_metrics.stage_processed(Stage::Order, t0.elapsed());
                         }
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => break,
                     }
                     for kind in wheel.due() {
+                        let t0 = Instant::now();
                         let mut out = Outbox::new();
                         protocol.on_timer(wheel.now(), kind, &mut out);
                         process_replica_actions(
                             out.take(),
                             &mut wheel,
                             &out_tx,
-                            &mut ledger,
+                            &exec_tx,
                             &worker_metrics,
                         );
+                        worker_metrics.stage_batch(Stage::Order, 0, 0, t0.elapsed());
                     }
                 }
-                ledger
+                // Dropping `exec_tx` here lets the executor drain and exit.
             })
             .expect("spawn worker thread");
 
         ReplicaRuntime {
             node,
             shutdown,
-            input_handle,
+            verifier_handles,
             worker_handle,
+            exec_handle,
             output_handle,
         }
     }
@@ -197,13 +283,18 @@ impl ReplicaRuntime {
         self.node
     }
 
-    /// Stop the pipeline and return the replica's ledger.
-    pub fn stop(self) -> Ledger {
+    /// Stop the pipeline and return the replica's ledger plus the
+    /// execution stage's materialized-table state digest. The execution
+    /// stage drains every decision the worker emitted before exiting.
+    pub fn stop(self) -> (Ledger, rdb_crypto::digest::Digest) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let ledger = self.worker_handle.join().expect("worker thread");
-        self.input_handle.join().expect("input thread");
+        for v in self.verifier_handles {
+            v.join().expect("verifier thread");
+        }
+        self.worker_handle.join().expect("worker thread");
+        let result = self.exec_handle.join().expect("execution thread");
         self.output_handle.join().expect("output thread");
-        ledger
+        result
     }
 }
 
@@ -211,23 +302,28 @@ fn process_replica_actions(
     actions: Vec<Action>,
     wheel: &mut TimerWheel,
     out_tx: &Sender<(NodeId, Message)>,
-    ledger: &mut Ledger,
+    exec_tx: &Sender<Decision>,
     metrics: &Metrics,
 ) {
+    let (mut sends, mut decisions) = (0u64, 0u64);
     for a in actions {
         match a {
             Action::Send { to, msg } => {
+                sends += 1;
                 let _ = out_tx.send((to, msg));
             }
             Action::SetTimer { kind, after } => wheel.set(kind, after),
             Action::CancelTimer { kind } => wheel.cancel(kind),
             Action::Decided(decision) => {
+                decisions += 1;
                 metrics.record_decision();
-                ledger.append_decision(&decision);
+                let _ = exec_tx.send(decision);
             }
             Action::RequestComplete { .. } => {}
         }
     }
+    metrics.stage_enqueued_many(Stage::Output, sends);
+    metrics.stage_enqueued_many(Stage::Execute, decisions);
 }
 
 /// A running closed-loop client.
@@ -336,4 +432,74 @@ fn process_client_actions(
         }
     }
     completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_common::time::SimDuration;
+
+    fn wheel() -> TimerWheel {
+        TimerWheel::new(Instant::now())
+    }
+
+    #[test]
+    fn wheel_compacts_cancelled_per_request_timers() {
+        let mut w = wheel();
+        // A long run arming and cancelling a fresh kind per request: both
+        // structures must stay bounded by the watermark mechanism.
+        for seq in 0..10_000u64 {
+            let kind = TimerKind::ClientRetry { seq };
+            w.set(kind, SimDuration::from_secs(3_600));
+            w.cancel(kind);
+        }
+        let (heap, gens) = w.sizes();
+        assert!(heap <= WHEEL_MIN_WATERMARK, "heap grew to {heap}");
+        assert!(gens <= WHEEL_MIN_WATERMARK, "gens grew to {gens}");
+    }
+
+    #[test]
+    fn wheel_compaction_preserves_live_timers() {
+        let mut w = wheel();
+        let keep = TimerKind::Progress;
+        w.set(keep, SimDuration::from_millis(1));
+        for seq in 0..1_000u64 {
+            let kind = TimerKind::SpecWindow { seq };
+            w.set(kind, SimDuration::from_secs(3_600));
+            w.cancel(kind);
+        }
+        let (heap, _) = w.sizes();
+        assert!(heap < 1_000, "stale entries not reclaimed");
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(w.due(), vec![keep], "live timer lost in compaction");
+    }
+
+    #[test]
+    fn wheel_compaction_does_not_resurrect_cancelled_kinds() {
+        let mut w = wheel();
+        let kind = TimerKind::ClientRetry { seq: 7 };
+        // Arm + cancel, then force a compaction (drops the gens slot).
+        w.set(kind, SimDuration::from_millis(1));
+        w.cancel(kind);
+        w.compact();
+        // Re-arming restarts at generation 1; the old generation-1 entry
+        // must not have survived to fire a duplicate.
+        w.set(kind, SimDuration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(w.due(), vec![kind], "exactly one firing after re-arm");
+        assert_eq!(w.due(), Vec::new());
+    }
+
+    #[test]
+    fn wheel_rearm_supersedes_across_compaction() {
+        let mut w = wheel();
+        let kind = TimerKind::Progress;
+        w.set(kind, SimDuration::from_millis(1));
+        w.set(kind, SimDuration::from_millis(50)); // supersedes
+        w.compact();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(w.due(), Vec::new(), "superseded timer fired early");
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(w.due(), vec![kind]);
+    }
 }

@@ -58,6 +58,9 @@ struct Shared {
     wheel_cv: Condvar,
     running: AtomicBool,
     seq: std::sync::atomic::AtomicU64,
+    /// When attached, replica-bound deliveries count as input-stage
+    /// enqueues, so `queue_depth(Stage::Input)` is the live inbox backlog.
+    metrics: Option<crate::metrics::Metrics>,
 }
 
 /// The in-process transport. Cloneable handle.
@@ -79,6 +82,15 @@ impl InProcTransport {
     /// Create a transport. `delay` injects per-link one-way delays (e.g.
     /// from `rdb-simnet`'s Table 1 topology); `None` delivers directly.
     pub fn new(delay: Option<DelayFn>) -> InProcTransport {
+        InProcTransport::with_metrics(delay, None)
+    }
+
+    /// Like [`InProcTransport::new`], additionally recording every
+    /// replica-bound delivery as an input-stage enqueue in `metrics`.
+    pub fn with_metrics(
+        delay: Option<DelayFn>,
+        metrics: Option<crate::metrics::Metrics>,
+    ) -> InProcTransport {
         let t = InProcTransport {
             shared: Arc::new(Shared {
                 inboxes: Mutex::new(HashMap::new()),
@@ -87,6 +99,7 @@ impl InProcTransport {
                 wheel_cv: Condvar::new(),
                 running: AtomicBool::new(true),
                 seq: std::sync::atomic::AtomicU64::new(0),
+                metrics,
             }),
         };
         if t.shared.delay.is_some() {
@@ -130,6 +143,9 @@ impl InProcTransport {
     fn deliver(&self, env: Envelope) {
         let inboxes = self.shared.inboxes.lock();
         if let Some(tx) = inboxes.get(&env.to) {
+            if let (Some(m), NodeId::Replica(_)) = (&self.shared.metrics, env.to) {
+                m.stage_enqueued(rdb_consensus::stage::Stage::Input);
+            }
             let _ = tx.send(env); // receiver may have shut down: drop
         }
     }

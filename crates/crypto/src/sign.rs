@@ -232,6 +232,19 @@ impl Verifier {
     pub fn public_key_of(&self, node: NodeId) -> Option<PublicKey> {
         self.inner.by_node.read().get(&node).copied()
     }
+
+    /// Batched verification: check every `(public key, signature)` pair
+    /// against the same `msg` under a single registry-lock acquisition.
+    /// This is the shape certificate/QC checks take — `n - f` signatures
+    /// over one payload — and is what the pipeline's verifier stage calls.
+    /// Returns `true` only if *all* pairs verify.
+    pub fn verify_many(&self, msg: &[u8], pairs: &[(PublicKey, Signature)]) -> bool {
+        let secrets = self.inner.secrets.read();
+        pairs.iter().all(|(public, sig)| match secrets.get(public) {
+            Some(secret) => ct_eq(&tag(secret, msg), &sig.0),
+            None => false,
+        })
+    }
 }
 
 impl fmt::Debug for Verifier {
@@ -275,6 +288,25 @@ mod tests {
         let v = ks.verifier();
         let sig = a.sign(b"msg");
         assert!(!v.verify(&b.public_key(), b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_many_checks_every_pair() {
+        let ks = store();
+        let a = ks.register(ReplicaId::new(0, 0).into());
+        let b = ks.register(ReplicaId::new(0, 1).into());
+        let v = ks.verifier();
+        let msg = b"quorum payload";
+        let good = vec![(a.public_key(), a.sign(msg)), (b.public_key(), b.sign(msg))];
+        assert!(v.verify_many(msg, &good));
+        assert!(v.verify_many(msg, &[]));
+        let bad = vec![
+            (a.public_key(), a.sign(msg)),
+            (b.public_key(), b.sign(b"other")),
+        ];
+        assert!(!v.verify_many(msg, &bad));
+        let unknown = vec![(PublicKey([7u8; 32]), a.sign(msg))];
+        assert!(!v.verify_many(msg, &unknown));
     }
 
     #[test]

@@ -14,12 +14,60 @@
 use rdb_consensus::messages::Message;
 use serde::{Deserialize, Serialize};
 
+/// The modeled stage layout of a node's pipeline (paper Figure 9): how
+/// many dedicated verifier threads check inbound signatures, and whether
+/// decisions execute on their own core instead of the ordering worker.
+/// Mirrors the real fabric's `resilientdb::pipeline::PipelineConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineModel {
+    /// Parallel verifier threads (fan-out of the Verify stage).
+    pub verifier_threads: usize,
+    /// Model the execution stage's materialization (table apply + ledger
+    /// append) on a dedicated core. Inline transaction execution stays on
+    /// the worker either way — the state machines execute inside
+    /// `on_message` to produce reply digests, in the real fabric too.
+    pub dedicated_execution: bool,
+}
+
+impl Default for PipelineModel {
+    /// Two modeled verifiers: what the real fabric's host-sized default
+    /// (`cores / 4`, clamped to 1..=4) resolves to on the paper's 8-core
+    /// N1 machines.
+    fn default() -> Self {
+        PipelineModel {
+            verifier_threads: 2,
+            dedicated_execution: true,
+        }
+    }
+}
+
+impl PipelineModel {
+    /// A single-threaded pipeline: everything on the worker (the paper's
+    /// "Looking Glass" strawman, and the pre-staging behavior).
+    pub fn single_threaded() -> PipelineModel {
+        PipelineModel {
+            verifier_threads: 0,
+            dedicated_execution: false,
+        }
+    }
+
+    /// A pipeline with `n` verifier threads and dedicated execution.
+    pub fn with_verifiers(n: usize) -> PipelineModel {
+        PipelineModel {
+            verifier_threads: n,
+            dedicated_execution: true,
+        }
+    }
+}
+
 /// Per-node compute cost model (all times in nanoseconds of single-core
 /// work; divide by `parallelism` for wall time).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComputeModel {
     /// Effective pipeline parallelism of the node (cores kept busy).
     pub parallelism: f64,
+    /// Stage layout: verifier fan-out and execution placement.
+    pub pipeline: PipelineModel,
     /// Cost of producing a digital signature (ED25519 sign).
     pub sign_ns: u64,
     /// Cost of verifying a digital signature (ED25519 verify).
@@ -40,6 +88,7 @@ impl Default for ComputeModel {
     fn default() -> Self {
         ComputeModel {
             parallelism: 1.6,
+            pipeline: PipelineModel::default(),
             sign_ns: 30_000,
             verify_ns: 60_000,
             mac_ns: 1_000,
@@ -69,45 +118,26 @@ impl ComputeModel {
         (bytes as f64 * self.per_byte_ns) as u64
     }
 
-    /// Single-core cost of *receiving and validating* one copy of `msg`.
-    ///
-    /// Mirrors what the protocol implementations actually validate:
-    /// batches cost one client-signature verification plus hashing;
-    /// certificates/QCs cost one verification per carried signature
-    /// (§3: threshold signatures are omitted, so certificates carry
-    /// `n - f` individual signatures that each receiver checks).
+    /// Single-core cost of the *Verify stage's* work on one copy of `msg`:
+    /// the signature/MAC checks the message declares via
+    /// [`Message::verification_cost`] (§3: threshold signatures are
+    /// omitted, so certificates carry `n - f` individual signatures that
+    /// each receiver checks). Charged on the modeled verifier pool.
+    pub fn verify_cost(&self, msg: &Message) -> u64 {
+        msg.verification_cost().ns(self.verify_ns, self.mac_ns)
+    }
+
+    /// Single-core cost of the *worker stage's* receive-side work on one
+    /// copy of `msg`: dispatch, queue handling and deserialization.
+    pub fn dispatch_cost(&self, msg: &Message) -> u64 {
+        self.recv_ns + self.bytes_cost(msg.wire_size())
+    }
+
+    /// Total single-core cost of receiving and validating one copy of
+    /// `msg` — the sum of the Verify and worker portions; what a
+    /// single-threaded (unstaged) node would pay.
     pub fn receive_cost(&self, msg: &Message) -> u64 {
-        let base = self.recv_ns + self.bytes_cost(msg.wire_size());
-        let crypto = match msg {
-            Message::Request(_) | Message::Forward(_) => self.mac_ns + self.verify_ns,
-            Message::PrePrepare { .. } | Message::OrderReq { .. } => self.mac_ns + self.verify_ns,
-            Message::Prepare { .. }
-            | Message::Checkpoint { .. }
-            | Message::Drvc { .. }
-            | Message::LocalCommit { .. }
-            | Message::Reply { .. } => self.mac_ns,
-            Message::Commit { .. } => self.mac_ns + self.verify_ns,
-            Message::ViewChange { .. } | Message::NewView { .. } => self.mac_ns,
-            Message::GlobalShare { cert } | Message::StewardProposal { cert, .. } => {
-                // Client signature + every commit signature.
-                self.mac_ns + self.verify_ns * (1 + cert.commits.len() as u64)
-            }
-            Message::Rvc { .. } => self.verify_ns,
-            Message::SpecResponse { .. } => self.verify_ns,
-            Message::ZyzCommit { sigs, .. } => self.verify_ns * sigs.len() as u64,
-            Message::HsProposal { batch, justify, .. } => {
-                let b = if batch.is_some() { self.verify_ns } else { 0 };
-                let q = justify
-                    .as_ref()
-                    .map_or(0, |qc| self.verify_ns * qc.votes.len() as u64);
-                self.mac_ns + b + q
-            }
-            Message::HsVote { .. } => self.verify_ns,
-            Message::StewardLocalAccept { .. } => self.verify_ns,
-            Message::StewardAccept { sigs, .. } => self.verify_ns * sigs.len() as u64,
-            Message::Noop => 0,
-        };
-        base + crypto
+        self.dispatch_cost(msg) + self.verify_cost(msg)
     }
 
     /// Single-core cost of emitting one copy of `msg` (serialization +
@@ -227,5 +257,34 @@ mod tests {
     fn exec_cost_linear() {
         let m = model();
         assert_eq!(m.exec_cost(100), 100 * m.exec_ns_per_txn);
+    }
+
+    #[test]
+    fn receive_cost_is_verify_plus_dispatch() {
+        let m = model();
+        let commit = Message::Commit {
+            scope: rdb_consensus::messages::Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+            sig: Signature::default(),
+        };
+        assert_eq!(
+            m.receive_cost(&commit),
+            m.verify_cost(&commit) + m.dispatch_cost(&commit)
+        );
+        // The verify portion follows the message's declared cost exactly.
+        assert_eq!(m.verify_cost(&commit), m.verify_ns + m.mac_ns);
+    }
+
+    #[test]
+    fn pipeline_model_presets() {
+        let single = PipelineModel::single_threaded();
+        assert_eq!(single.verifier_threads, 0);
+        assert!(!single.dedicated_execution);
+        let wide = PipelineModel::with_verifiers(4);
+        assert_eq!(wide.verifier_threads, 4);
+        assert!(wide.dedicated_execution);
+        assert_eq!(ComputeModel::default().pipeline, PipelineModel::default());
     }
 }

@@ -1,6 +1,13 @@
-//! The discrete-event engine: virtual clock, per-node compute queues,
-//! bandwidth pipes, timers with cancellation, fault filtering and
-//! statistics.
+//! The discrete-event engine: virtual clock, per-node staged compute
+//! (modeled verifier pool → worker → dedicated execution core, paper
+//! Figure 9), bandwidth pipes, timers with cancellation, fault filtering
+//! and statistics.
+//!
+//! Determinism note: every engine-owned map whose iteration order can
+//! influence event ordering (`replicas`, `clients`, `nodes`, `payloads`,
+//! `decided_counts`, per-node `timer_gens`) is a `BTreeMap` — a
+//! `HashMap`'s per-process random iteration order would leak into
+//! `start()` and statistics and break run-to-run reproducibility.
 
 use crate::compute::ComputeModel;
 use crate::faults::FaultState;
@@ -13,7 +20,7 @@ use rdb_consensus::messages::Message;
 use rdb_consensus::types::Decision;
 use rdb_ledger::Ledger;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// An event in the queue.
 // `Deliver` carries the full message and dominates both the size and the
@@ -42,14 +49,19 @@ enum Ev {
 /// Per-node runtime state.
 #[derive(Debug, Default)]
 struct NodeState {
-    /// The node's (modeled) CPU is busy until this instant.
+    /// The ordering worker is busy until this instant.
     busy_until: SimTime,
+    /// Each modeled verifier thread is busy until its instant (sized from
+    /// the compute model's [`crate::compute::PipelineModel`] on first use).
+    verifier_free: Vec<SimTime>,
+    /// The dedicated execution core is busy until this instant.
+    exec_free: SimTime,
     /// Intra-region NIC egress is busy until this instant.
     nic_free: SimTime,
     /// WAN egress aggregate is busy until this instant.
     wan_free: SimTime,
     /// Timer generations for cancellation.
-    timer_gens: HashMap<TimerKind, u64>,
+    timer_gens: BTreeMap<TimerKind, u64>,
 }
 
 type HeapEntry = Reverse<(SimTime, u64)>;
@@ -61,19 +73,19 @@ pub struct Engine {
     client_model: ComputeModel,
     clock: SimTime,
     heap: BinaryHeap<HeapEntry>,
-    payloads: HashMap<u64, Ev>,
+    payloads: BTreeMap<u64, Ev>,
     seq: u64,
-    replicas: HashMap<ReplicaId, Box<dyn ReplicaProtocol>>,
-    clients: HashMap<ClientId, Box<dyn ClientProtocol>>,
-    nodes: HashMap<NodeId, NodeState>,
+    replicas: BTreeMap<ReplicaId, Box<dyn ReplicaProtocol>>,
+    clients: BTreeMap<ClientId, Box<dyn ClientProtocol>>,
+    nodes: BTreeMap<NodeId, NodeState>,
     faults: FaultState,
     /// Statistics for the current measurement window.
     pub stats: NetStats,
-    submit_times: HashMap<ClientId, SimTime>,
+    submit_times: BTreeMap<ClientId, SimTime>,
     /// Decisions executed, per replica (whole run, not window).
-    pub decided_counts: HashMap<ReplicaId, u64>,
+    pub decided_counts: BTreeMap<ReplicaId, u64>,
     /// Optional per-replica ledgers (integration tests / examples).
-    ledgers: Option<HashMap<ReplicaId, Ledger>>,
+    ledgers: Option<BTreeMap<ReplicaId, Ledger>>,
     /// Maximum events processed before declaring a runaway (safety).
     pub max_events: u64,
     events_processed: u64,
@@ -93,15 +105,15 @@ impl Engine {
             client_model,
             clock: SimTime::ZERO,
             heap: BinaryHeap::new(),
-            payloads: HashMap::new(),
+            payloads: BTreeMap::new(),
             seq: 0,
-            replicas: HashMap::new(),
-            clients: HashMap::new(),
-            nodes: HashMap::new(),
+            replicas: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            nodes: BTreeMap::new(),
             faults,
             stats: NetStats::default(),
-            submit_times: HashMap::new(),
-            decided_counts: HashMap::new(),
+            submit_times: BTreeMap::new(),
+            decided_counts: BTreeMap::new(),
             ledgers: None,
             max_events: 2_000_000_000,
             events_processed: 0,
@@ -110,11 +122,11 @@ impl Engine {
 
     /// Track a full ledger per replica (costs memory; integration tests).
     pub fn attach_ledgers(&mut self) {
-        self.ledgers = Some(HashMap::new());
+        self.ledgers = Some(BTreeMap::new());
     }
 
     /// The per-replica ledgers, if attached.
-    pub fn ledgers(&self) -> Option<&HashMap<ReplicaId, Ledger>> {
+    pub fn ledgers(&self) -> Option<&BTreeMap<ReplicaId, Ledger>> {
         self.ledgers.as_ref()
     }
 
@@ -206,12 +218,32 @@ impl Engine {
                         return;
                     }
                 }
-                let cost = self
-                    .model_for(to)
-                    .wall(self.model_for(to).receive_cost(&msg));
+                let model = self.model_for(to).clone();
+                let verifiers = model.pipeline.verifier_threads;
                 let state = self.nodes.entry(to).or_default();
-                let start = t.max(state.busy_until);
-                let done = start + SimDuration(cost);
+                // Verify stage: the declared signature/MAC work runs on the
+                // earliest-free modeled verifier thread, in parallel with
+                // the worker. With an empty pool (single-threaded layout)
+                // the worker pays for verification itself.
+                let (verified_at, worker_cost) = if verifiers == 0 {
+                    (t, model.wall(model.receive_cost(&msg)))
+                } else {
+                    if state.verifier_free.len() < verifiers {
+                        state.verifier_free.resize(verifiers, SimTime::ZERO);
+                    }
+                    let slot = state
+                        .verifier_free
+                        .iter_mut()
+                        .min()
+                        .expect("pool is non-empty");
+                    let vdone = t.max(*slot) + SimDuration(model.verify_cost(&msg));
+                    *slot = vdone;
+                    (vdone, model.wall(model.dispatch_cost(&msg)))
+                };
+                // Order stage: the worker picks the message up once both
+                // it and the verifier are free.
+                let start = verified_at.max(state.busy_until);
+                let done = start + SimDuration(worker_cost);
                 state.busy_until = done;
                 let mut out = Outbox::new();
                 match to {
@@ -328,7 +360,19 @@ impl Engine {
                     *state.timer_gens.entry(kind).or_insert(0) += 1;
                 }
                 Action::Decided(decision) => {
-                    cursor += SimDuration(model.wall(model.exec_cost(decision.txn_count())));
+                    // The worker always pays transaction execution: the
+                    // state machines execute inline (inside `on_message`)
+                    // to produce reply digests, in the real fabric too.
+                    // The dedicated core additionally models the execution
+                    // stage's *materialization* (table apply + ledger
+                    // append), which is what the staged fabric moved off
+                    // the worker's critical path.
+                    let exec = model.exec_cost(decision.txn_count());
+                    cursor += SimDuration(model.wall(exec));
+                    if model.pipeline.dedicated_execution {
+                        let state = self.nodes.entry(node).or_default();
+                        state.exec_free = state.exec_free.max(cursor) + SimDuration(exec);
+                    }
                     if let NodeId::Replica(rid) = node {
                         *self.decided_counts.entry(rid).or_insert(0) += 1;
                         if rid == ReplicaId::new(0, 0) {
@@ -633,6 +677,125 @@ mod tests {
         e.schedule_stats_reset(SimTime::ZERO + SimDuration::from_millis(1));
         e.run_until(SimTime::ZERO + SimDuration::from_millis(2));
         assert_eq!(e.stats.msgs_global, 0);
+    }
+
+    #[test]
+    fn verifier_pool_overlaps_signature_checks() {
+        use crate::compute::PipelineModel;
+        use rdb_crypto::digest::Digest;
+        use rdb_crypto::sign::Signature;
+        let commit = || Message::Commit {
+            scope: rdb_consensus::messages::Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+            sig: Signature::default(),
+        };
+        let worker_busy_after = |pipeline: PipelineModel| {
+            let topo = Topology::paper(&[Region::Oregon]);
+            let model = ComputeModel {
+                pipeline,
+                ..ComputeModel::default()
+            };
+            let mut e = Engine::new(topo, model.clone(), model, FaultState::default());
+            let to = ReplicaId::new(0, 0);
+            let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            e.add_replica(Box::new(Echo {
+                id: to,
+                peer: to,
+                received: counter,
+                reply: false,
+            }));
+            for _ in 0..8 {
+                e.route(
+                    ReplicaId::new(0, 1).into(),
+                    to.into(),
+                    commit(),
+                    SimTime::ZERO,
+                );
+            }
+            e.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            e.nodes[&NodeId::Replica(to)].busy_until
+        };
+        let staged = worker_busy_after(PipelineModel::with_verifiers(2));
+        let single = worker_busy_after(PipelineModel::single_threaded());
+        assert!(
+            staged < single,
+            "parallel verification must relieve the worker: staged {staged:?} vs single {single:?}"
+        );
+    }
+
+    #[test]
+    fn dedicated_execution_runs_off_the_worker_path() {
+        use crate::compute::PipelineModel;
+        use rdb_consensus::types::{ClientBatch, DecisionEntry, SignedBatch, Transaction};
+        use rdb_crypto::digest::Digest;
+
+        struct Decider {
+            id: ReplicaId,
+        }
+        impl ReplicaProtocol for Decider {
+            fn id(&self) -> ReplicaId {
+                self.id
+            }
+            fn on_start(&mut self, _now: SimTime, _out: &mut Outbox) {}
+            fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: Message, out: &mut Outbox) {
+                let client = rdb_common::ids::ClientId::new(0, 0);
+                let batch = ClientBatch {
+                    client,
+                    batch_seq: 0,
+                    txns: (0..1_000)
+                        .map(|i| Transaction {
+                            client,
+                            seq: i,
+                            op: rdb_store::Operation::NoOp,
+                        })
+                        .collect(),
+                };
+                out.decided(Decision {
+                    seq: 1,
+                    entries: vec![DecisionEntry {
+                        origin: None,
+                        batch: SignedBatch {
+                            batch,
+                            pubkey: Default::default(),
+                            sig: Default::default(),
+                        },
+                    }],
+                    state_digest: Digest::ZERO,
+                });
+            }
+            fn on_timer(&mut self, _now: SimTime, _t: TimerKind, _out: &mut Outbox) {}
+        }
+
+        let run = |pipeline: PipelineModel| {
+            let topo = Topology::paper(&[Region::Oregon]);
+            let model = ComputeModel {
+                pipeline,
+                ..ComputeModel::default()
+            };
+            let mut e = Engine::new(topo, model.clone(), model, FaultState::default());
+            let to = ReplicaId::new(0, 0);
+            e.add_replica(Box::new(Decider { id: to }));
+            e.route(
+                ReplicaId::new(0, 1).into(),
+                to.into(),
+                Message::Noop,
+                SimTime::ZERO,
+            );
+            e.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            let state = &e.nodes[&NodeId::Replica(to)];
+            (state.busy_until, state.exec_free)
+        };
+        let (staged_busy, staged_exec) = run(PipelineModel::default());
+        let (single_busy, single_exec) = run(PipelineModel::single_threaded());
+        // Inline execution is worker work in both layouts (the state
+        // machine computes reply digests there).
+        assert_eq!(staged_busy, single_busy);
+        // Staged: the 1000-txn materialization additionally occupies the
+        // dedicated core, past the worker's own busy horizon.
+        assert!(staged_exec > staged_busy);
+        assert_eq!(single_exec, SimTime::ZERO);
     }
 
     #[test]

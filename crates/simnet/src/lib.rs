@@ -12,7 +12,11 @@
 //!    of the single primary" effect of §4.4.
 //! 2. **Compute** per node ([`compute::ComputeModel`]): configurable costs
 //!    for signature/MAC operations, per-message handling, hashing and
-//!    execution, processed through a per-node busy-until queue.
+//!    execution, charged across a modeled Figure-9 stage layout
+//!    ([`compute::PipelineModel`]): inbound signature work lands on a
+//!    verifier-thread pool, ordering on the worker's busy-until queue,
+//!    and decision execution on a dedicated core — the same pipeline
+//!    abstraction the real fabric (`resilientdb`) runs on OS threads.
 //! 3. **Timers** with generation-based cancellation.
 //!
 //! [`scenario::Scenario`] wires a full deployment (replicas, closed-loop
@@ -27,7 +31,7 @@ pub mod scenario;
 pub mod stats;
 pub mod topology;
 
-pub use compute::ComputeModel;
+pub use compute::{ComputeModel, PipelineModel};
 pub use engine::Engine;
 pub use faults::FaultSpec;
 pub use scenario::{RunMetrics, Scenario};

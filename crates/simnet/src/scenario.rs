@@ -145,7 +145,7 @@ impl Scenario {
         self,
     ) -> (
         RunMetrics,
-        Option<std::collections::HashMap<ReplicaId, rdb_ledger::Ledger>>,
+        Option<std::collections::BTreeMap<ReplicaId, rdb_ledger::Ledger>>,
     ) {
         let z = self.cfg.system.z();
         let n = self.cfg.system.n();
@@ -354,6 +354,25 @@ mod tests {
                 m.summary()
             );
         }
+    }
+
+    #[test]
+    fn modeled_verifier_fanout_scales_throughput() {
+        // The staged compute model must show the paper's Figure-9 effect:
+        // on a verification-bound workload, adding verifier threads lifts
+        // throughput (1 -> 4), deterministically and regardless of host
+        // cores.
+        let run = |fanout: usize| {
+            let mut s = tiny(ProtocolKind::Pbft, 1, 4);
+            s.compute.pipeline = crate::compute::PipelineModel::with_verifiers(fanout);
+            s.run().throughput_txn_s
+        };
+        let narrow = run(1);
+        let wide = run(4);
+        assert!(
+            wide > narrow,
+            "fan-out 4 ({wide:.0} txn/s) must beat fan-out 1 ({narrow:.0} txn/s)"
+        );
     }
 
     #[test]

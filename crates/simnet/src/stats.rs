@@ -1,7 +1,7 @@
 //! Measurement-window statistics collected by the engine.
 
 use rdb_common::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Message and decision statistics for one run.
 #[derive(Debug, Clone, Default)]
@@ -14,8 +14,9 @@ pub struct NetStats {
     pub bytes_local: u64,
     /// Bytes on inter-region links.
     pub bytes_global: u64,
-    /// Per-label (message kind) counts and bytes.
-    pub per_label: HashMap<&'static str, (u64, u64)>,
+    /// Per-label (message kind) counts and bytes. Ordered so reports and
+    /// JSON output are byte-stable across runs.
+    pub per_label: BTreeMap<&'static str, (u64, u64)>,
     /// Client-observed completed batches.
     pub completed_batches: u64,
     /// Client-observed completed transactions.

@@ -115,16 +115,24 @@ impl KvStore {
     }
 
     fn insert_raw(&mut self, key: u64, value: Value) {
+        self.insert_inner(key, value, true);
+    }
+
+    fn insert_inner(&mut self, key: u64, value: Value, fingerprint: bool) {
         if let Some((old_v, old_ver)) = self.records.get(&key).copied() {
-            let old_d = Self::record_digest(key, &old_v, old_ver);
-            self.xor_accum(&old_d);
             let new_ver = old_ver + 1;
-            let new_d = Self::record_digest(key, &value, new_ver);
-            self.xor_accum(&new_d);
+            if fingerprint {
+                let old_d = Self::record_digest(key, &old_v, old_ver);
+                self.xor_accum(&old_d);
+                let new_d = Self::record_digest(key, &value, new_ver);
+                self.xor_accum(&new_d);
+            }
             self.records.insert(key, (value, new_ver));
         } else {
-            let new_d = Self::record_digest(key, &value, 1);
-            self.xor_accum(&new_d);
+            if fingerprint {
+                let new_d = Self::record_digest(key, &value, 1);
+                self.xor_accum(&new_d);
+            }
             self.records.insert(key, (value, 1));
         }
     }
@@ -173,10 +181,39 @@ impl KvStore {
 
     /// Execute one operation, returning its outcome.
     pub fn execute(&mut self, op: &Operation) -> ExecOutcome {
+        self.execute_inner(op, true)
+    }
+
+    /// Execute one operation *without* maintaining the incremental state
+    /// fingerprint — two SHA-256 invocations saved per write. For bulk or
+    /// off-critical-path appliers (the fabric's execution stage, whose
+    /// authoritative digest already arrived inside the `Decision`); the
+    /// fingerprint is stale afterwards until
+    /// [`KvStore::rebuild_fingerprint`] runs.
+    pub fn execute_unfingerprinted(&mut self, op: &Operation) -> ExecOutcome {
+        self.execute_inner(op, false)
+    }
+
+    /// Recompute the state fingerprint from the full table, restoring
+    /// [`KvStore::state_digest`] correctness after a run of
+    /// [`KvStore::execute_unfingerprinted`]. O(records).
+    pub fn rebuild_fingerprint(&mut self) {
+        self.accum = [0u8; 32];
+        let digests: Vec<[u8; 32]> = self
+            .records
+            .iter()
+            .map(|(key, (value, version))| Self::record_digest(*key, value, *version))
+            .collect();
+        for d in &digests {
+            self.xor_accum(d);
+        }
+    }
+
+    fn execute_inner(&mut self, op: &Operation, fingerprint: bool) -> ExecOutcome {
         self.applied_txns += 1;
         match op {
             Operation::Write { key, value } => {
-                self.insert_raw(*key, *value);
+                self.insert_inner(*key, *value, fingerprint);
                 self.stats.writes += 1;
                 ExecOutcome::Done
             }
@@ -188,11 +225,11 @@ impl KvStore {
                 self.stats.rmws += 1;
                 let current = self.get(*key).unwrap_or_default();
                 let next = current.counter().wrapping_add(*delta);
-                self.insert_raw(*key, current.with_counter(next));
+                self.insert_inner(*key, current.with_counter(next), fingerprint);
                 ExecOutcome::Counter(next)
             }
             Operation::Insert { key, value } => {
-                self.insert_raw(*key, *value);
+                self.insert_inner(*key, *value, fingerprint);
                 self.stats.inserts += 1;
                 ExecOutcome::Done
             }
@@ -230,6 +267,37 @@ impl Default for KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unfingerprinted_execution_matches_after_rebuild() {
+        let mut a = KvStore::with_ycsb_records(100);
+        let mut b = KvStore::with_ycsb_records(100);
+        let ops = [
+            Operation::Write {
+                key: 3,
+                value: Value::from_u64(99),
+            },
+            Operation::Rmw { key: 4, delta: 7 },
+            Operation::Insert {
+                key: 200,
+                value: Value::from_u64(1),
+            },
+            Operation::Write {
+                key: 3,
+                value: Value::from_u64(42),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(a.execute(op), b.execute_unfingerprinted(op));
+        }
+        // Fingerprint is stale until rebuilt, then identical.
+        assert_ne!(a.state_digest(), b.state_digest());
+        b.rebuild_fingerprint();
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.get(3), b.get(3));
+        assert_eq!(a.version(3), b.version(3));
+        assert_eq!(a.applied_txns(), b.applied_txns());
+    }
 
     #[test]
     fn ycsb_initialization_preloads_records() {

@@ -12,13 +12,13 @@ use rdb_consensus::config::{ExecMode, ProtocolKind};
 use rdb_ledger::Ledger;
 use rdb_simnet::Scenario;
 use rdb_workload::ycsb::YcsbConfig;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn run_with_ledgers(
     kind: ProtocolKind,
     z: usize,
     n: usize,
-) -> (f64, HashMap<rdb_common::ids::ReplicaId, Ledger>) {
+) -> (f64, BTreeMap<rdb_common::ids::ReplicaId, Ledger>) {
     let mut s = Scenario::paper(kind, z, n).quick();
     s.logical_clients = 2_000;
     s.ycsb = YcsbConfig {
@@ -35,7 +35,7 @@ fn run_with_ledgers(
 }
 
 /// Shared safety check: common prefix equality across all replicas.
-fn assert_common_prefix(ledgers: &HashMap<rdb_common::ids::ReplicaId, Ledger>, min_blocks: u64) {
+fn assert_common_prefix(ledgers: &BTreeMap<rdb_common::ids::ReplicaId, Ledger>, min_blocks: u64) {
     let common = ledgers
         .values()
         .map(|l| l.head_height())

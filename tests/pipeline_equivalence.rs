@@ -1,0 +1,137 @@
+//! Cross-runtime equivalence: the same PBFT deployment driven through the
+//! deterministic simulator (`rdb-simnet`, modeled compute/virtual time)
+//! and the real threaded fabric (`resilientdb`, OS threads + real
+//! signatures) must commit the *same blockchain* — same batches, same
+//! order, same post-execution state digests, hence identical block
+//! hashes over the common prefix.
+//!
+//! This pins down the contract behind the staged refactor: both runtimes
+//! drive the same sans-io state machines through the same pipeline
+//! abstraction (verify → order → execute), so only timing may differ —
+//! never content.
+
+use rdb_common::ids::ReplicaId;
+use rdb_consensus::config::{ExecMode, ProtocolKind};
+use rdb_ledger::Ledger;
+use rdb_simnet::Scenario;
+use rdb_workload::ycsb::YcsbConfig;
+use resilientdb::DeploymentBuilder;
+use std::time::Duration;
+
+const SEED: u64 = 7;
+const RECORDS: u64 = 500;
+const BATCH: usize = 5;
+
+/// One closed-loop client, PBFT over a single 4-replica cluster, real
+/// YCSB execution — in the simulator.
+fn simnet_ledger() -> Ledger {
+    let mut s = Scenario::paper(ProtocolKind::Pbft, 1, 4).quick();
+    s.cfg.exec_mode = ExecMode::Real;
+    s.cfg.batch_size = BATCH;
+    s.real_exec_records = RECORDS;
+    s.track_ledgers = true;
+    s.seed = SEED;
+    // Exactly one closed-loop batch client => a deterministic proposal
+    // order (client batch_seq order).
+    s.logical_clients = BATCH;
+    s.ycsb = YcsbConfig {
+        record_count: RECORDS,
+        batch_size: BATCH,
+        ..YcsbConfig::default()
+    };
+    let (metrics, ledgers) = s.run_full();
+    assert!(metrics.completed_batches > 0, "simnet made no progress");
+    ledgers
+        .expect("ledgers tracked")
+        .remove(&ReplicaId::new(0, 0))
+        .expect("observer replica ledger")
+}
+
+/// The same deployment on the real staged pipeline.
+fn fabric_ledgers() -> resilientdb::DeploymentReport {
+    DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(BATCH)
+        .clients(1)
+        .records(RECORDS)
+        .seed(SEED)
+        .duration(Duration::from_millis(900))
+        .run()
+}
+
+#[test]
+fn simnet_and_fabric_commit_identical_ledgers() {
+    let sim = simnet_ledger();
+    let report = fabric_ledgers();
+    assert!(report.completed_batches > 0, "{}", report.summary());
+    let common = report.audit_ledgers().expect("fabric ledgers consistent");
+    report
+        .audit_execution_stage()
+        .expect("materialized tables match ledger heads");
+    let fabric = &report.ledgers[&ReplicaId::new(0, 0)];
+
+    let prefix = common.min(sim.head_height());
+    assert!(
+        prefix >= 3,
+        "need a non-trivial common prefix (fabric {common}, simnet {})",
+        sim.head_height()
+    );
+    for h in 1..=prefix {
+        let a = sim.block(h).expect("simnet block");
+        let b = fabric.block(h).expect("fabric block");
+        assert_eq!(
+            a.batch.digest(),
+            b.batch.digest(),
+            "batch divergence at height {h}"
+        );
+        assert_eq!(
+            a.state_digest, b.state_digest,
+            "execution state divergence at height {h}"
+        );
+        assert_eq!(a.hash(), b.hash(), "block hash divergence at height {h}");
+    }
+}
+
+#[test]
+fn staged_pipeline_reports_stage_flow() {
+    use rdb_consensus::stage::Stage;
+    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(BATCH)
+        .clients(2)
+        .records(RECORDS)
+        .verifier_threads(4)
+        .duration(Duration::from_millis(600))
+        .run();
+    assert!(report.completed_batches > 0, "{}", report.summary());
+    let stages = &report.stages;
+    // Every stage saw traffic, in pipeline order.
+    assert!(stages.row(Stage::Input).processed > 0);
+    assert!(stages.row(Stage::Input).enqueued >= stages.row(Stage::Input).processed);
+    assert!(stages.row(Stage::Verify).processed > 0);
+    assert!(stages.row(Stage::Order).processed > 0);
+    assert!(stages.row(Stage::Output).processed > 0);
+    // All traffic is honestly signed: the verifier pool dropped nothing.
+    assert_eq!(stages.row(Stage::Verify).dropped, 0);
+    // Execution saw exactly the decided count and kept up.
+    assert_eq!(stages.row(Stage::Execute).enqueued, report.decided);
+    assert_eq!(stages.row(Stage::Execute).processed, report.decided);
+    // The worker spent real, measured time ordering.
+    assert!(report.worker_occupancy() > 0.0);
+}
+
+#[test]
+fn wide_verifier_fanout_preserves_safety_and_progress() {
+    // Reordering across 4 parallel verifiers must not break agreement.
+    let report = DeploymentBuilder::new(ProtocolKind::GeoBft, 2, 4)
+        .batch_size(BATCH)
+        .clients(2)
+        .records(RECORDS)
+        .verifier_threads(4)
+        .duration(Duration::from_millis(900))
+        .run();
+    assert!(report.completed_batches > 0, "{}", report.summary());
+    let blocks = report.audit_ledgers().expect("consistent ledgers");
+    assert!(blocks >= 2, "expected at least one full GeoBFT round");
+    report
+        .audit_execution_stage()
+        .expect("materialized tables match ledger heads");
+}
