@@ -14,6 +14,14 @@
 //! * `pipeline-fabric-batch` — the original fabric macro-benchmark (E8):
 //!   wall-clock throughput across batch sizes, the fabric-level analogue
 //!   of Figure 13's batching sweep.
+//! * `pipeline-overload` / `pipeline-simnet-overload` — offered load far
+//!   above capacity at verifier fan-out 1/2/4, with deliberately tiny
+//!   bounded input queues. The point is the *shape* of the degradation:
+//!   throughput flattens near capacity while the input queue depth stays
+//!   at its bound (flat memory) and the overflow lands in the
+//!   shed/blocked counters — instead of the unbounded-queue collapse the
+//!   "Looking Glass" study documents. The simnet variant shows the same
+//!   policy deterministically on single-core CI hosts.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rdb_common::config::SystemConfig;
@@ -22,10 +30,11 @@ use rdb_consensus::certificate::{commit_payload, CommitCertificate, CommitSig};
 use rdb_consensus::config::ProtocolKind;
 use rdb_consensus::crypto_ctx::CryptoCtx;
 use rdb_consensus::messages::Message;
+use rdb_consensus::stage::Stage;
 use rdb_consensus::stage::VerifiedMessage;
 use rdb_consensus::types::{ClientBatch, SignedBatch, Transaction};
 use rdb_crypto::sign::KeyStore;
-use resilientdb::DeploymentBuilder;
+use resilientdb::{DeploymentBuilder, QueuePolicy};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -201,6 +210,93 @@ fn bench_fabric_occupancy(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fabric under overload: 24 closed-loop clients against a 4-replica
+/// PBFT cluster whose input queues are clamped to 16 envelopes
+/// (shed-on-full). Degradation must be graceful: the input depth can
+/// never exceed the bound × replicas no matter the offered load, and the
+/// overflow is visible as shed droppable traffic plus blocked request
+/// admissions rather than as queue growth.
+fn bench_overload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline-overload");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(12));
+    for fanout in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+                        .batch_size(10)
+                        .clients(24)
+                        .records(1_000)
+                        .verifier_threads(fanout)
+                        .input_queue(QueuePolicy::shed(16))
+                        .duration(Duration::from_millis(300))
+                        .run();
+                    let input = report.stages.row(Stage::Input);
+                    assert!(
+                        input.queue_depth <= 16 * 4,
+                        "input queue must stay at its bound: {}",
+                        report.stages.summary()
+                    );
+                    eprintln!(
+                        "    fanout={fanout}: {} txns, input depth {} (bound 64), shed {}, blocked {:?}",
+                        report.completed_txns, input.queue_depth, input.shed, input.blocked,
+                    );
+                    report.completed_txns
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The same overload shape in the simulator: offered load (240 batch
+/// clients) far above what one modeled primary verifies, with a 64-deep
+/// shedding input bound. Shed traffic is recovered by retransmission, so
+/// the scenario runs with short retry/progress timers (without them a
+/// fully shed instance stays stalled for the whole modeled window) and
+/// measures from t=0 so the admission burst's shedding is visible.
+/// Deterministic regardless of host cores; numbers are printed per
+/// fan-out.
+fn bench_simnet_overload(c: &mut Criterion) {
+    use rdb_common::time::SimDuration;
+    use rdb_simnet::{Overload, PipelineModel, Scenario};
+    let mut g = c.benchmark_group("pipeline-simnet-overload");
+    g.sample_size(2);
+    for fanout in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let mut s = Scenario::paper(ProtocolKind::Pbft, 1, 4).quick();
+                    s.logical_clients = 12_000;
+                    s.cfg.client_retry = SimDuration::from_millis(250);
+                    s.cfg.progress_timeout = SimDuration::from_millis(600);
+                    s.warmup = SimDuration::ZERO;
+                    s.compute.pipeline =
+                        PipelineModel::with_verifiers(fanout).with_input_queue(64, Overload::Shed);
+                    let m = s.with_batch_size(50).run();
+                    assert!(m.max_input_depth <= 65, "modeled depth past the bound");
+                    assert!(
+                        m.completed_batches > 0,
+                        "modeled overload must degrade gracefully, not stall: {}",
+                        m.summary()
+                    );
+                    eprintln!(
+                        "    modeled overload fanout={fanout}: {:.0} txn/s, shed {}, max depth {}",
+                        m.throughput_txn_s, m.shed_msgs, m.max_input_depth
+                    );
+                    m.shed_msgs
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_fabric_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline-fabric-batch");
     g.sample_size(10);
@@ -227,6 +323,8 @@ criterion_group!(
     bench_verify_fanout,
     bench_simnet_fanout,
     bench_fabric_occupancy,
+    bench_overload,
+    bench_simnet_overload,
     bench_fabric_batch
 );
 criterion_main!(benches);

@@ -415,6 +415,33 @@ impl Message {
             Message::Noop => "noop",
         }
     }
+
+    /// Whether an overloaded replica may shed this message instead of
+    /// blocking its sender (the queue policy of the fabric's bounded input
+    /// stage, and of the simulator's modeled queue).
+    ///
+    /// A BFT protocol already treats every replica-to-replica message as
+    /// lossy: a shed message is indistinguishable from a network drop, and
+    /// some retransmission path recovers it — the client's retry timer
+    /// re-submits batches that never reach a reply quorum
+    /// ([`Message::Forward`], [`Message::Reply`], [`Message::OrderReq`],
+    /// speculative responses), and progress/view-change timers re-drive
+    /// every ordering round ([`Message::PrePrepare`], [`Message::Prepare`],
+    /// [`Message::Commit`], certificates, votes, view changes). Shedding
+    /// them under overload is exactly the load-shedding the paper's fabric
+    /// relies on to avoid queue collapse.
+    ///
+    /// The single exception is [`Message::Request`]: the client's original
+    /// submission is the *admission edge* of the system. Shedding it would
+    /// silently burn a full client retry timeout while the replica stays
+    /// overloaded; blocking the submitting client instead is what
+    /// propagates backpressure end to end (an overloaded deployment slows
+    /// its clients rather than growing queues). Requests therefore always
+    /// block on a full input queue, regardless of the stage's configured
+    /// overload policy.
+    pub fn droppable(&self) -> bool {
+        !matches!(self, Message::Request(_))
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +470,30 @@ mod tests {
             pubkey: Default::default(),
             sig: Default::default(),
         }
+    }
+
+    #[test]
+    fn only_client_requests_are_undroppable() {
+        // The admission edge blocks; everything else is lossy-by-design
+        // (recovered by client retry or protocol timers).
+        assert!(!Message::Request(batch(1)).droppable());
+        assert!(Message::Forward(batch(1)).droppable());
+        assert!(Message::PrePrepare {
+            scope: Scope::Global,
+            view: 0,
+            seq: 0,
+            digest: Digest::ZERO,
+            batch: batch(1),
+        }
+        .droppable());
+        assert!(Message::Prepare {
+            scope: Scope::Global,
+            view: 0,
+            seq: 0,
+            digest: Digest::ZERO,
+        }
+        .droppable());
+        assert!(Message::Noop.droppable());
     }
 
     #[test]

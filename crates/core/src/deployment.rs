@@ -3,6 +3,7 @@
 use crate::metrics::{Metrics, StageSnapshot};
 use crate::node::{ClientRuntime, ReplicaRuntime};
 use crate::pipeline::{PipelineConfig, VerifyCtx};
+use crate::queue::{QueuePolicy, StageQueues};
 use crate::transport::{DelayFn, InProcTransport};
 use rdb_common::config::SystemConfig;
 use rdb_common::ids::{ClientId, NodeId, ReplicaId};
@@ -34,6 +35,10 @@ pub struct DeploymentBuilder {
     client_retry: SimDuration,
     remote_timeout: SimDuration,
     pipeline: PipelineConfig,
+    input_queue: Option<QueuePolicy>,
+    work_queue: Option<QueuePolicy>,
+    exec_queue: Option<QueuePolicy>,
+    output_queue: Option<QueuePolicy>,
 }
 
 impl DeploymentBuilder {
@@ -55,6 +60,10 @@ impl DeploymentBuilder {
             client_retry: SimDuration::from_millis(4_000),
             remote_timeout: SimDuration::from_millis(1_500),
             pipeline: PipelineConfig::default(),
+            input_queue: None,
+            work_queue: None,
+            exec_queue: None,
+            output_queue: None,
         }
     }
 
@@ -63,6 +72,36 @@ impl DeploymentBuilder {
     /// [`PipelineConfig::default`].
     pub fn verifier_threads(mut self, n: usize) -> Self {
         self.pipeline = PipelineConfig::with_verifiers(n);
+        self
+    }
+
+    /// Override the input-stage queue (the replica inbox the transport
+    /// delivers into). Unset, it is derived from batch size and verifier
+    /// fan-out with policy [`crate::queue::Overload::Shed`] — see
+    /// [`StageQueues::derive`]. Droppable consensus traffic is shed at
+    /// the bound; client `Request`s always block their submitter.
+    pub fn input_queue(mut self, p: QueuePolicy) -> Self {
+        self.input_queue = Some(p);
+        self
+    }
+
+    /// Override the verify → order work queue (derived, blocking by
+    /// default; a full work queue parks the verifier pool).
+    pub fn order_queue(mut self, p: QueuePolicy) -> Self {
+        self.work_queue = Some(p);
+        self
+    }
+
+    /// Override the order → execute decision queue (blocking by default;
+    /// decisions are agreed state and are never shed).
+    pub fn exec_queue(mut self, p: QueuePolicy) -> Self {
+        self.exec_queue = Some(p);
+        self
+    }
+
+    /// Override the order → output queue (blocking by default).
+    pub fn output_queue(mut self, p: QueuePolicy) -> Self {
+        self.output_queue = Some(p);
         self
     }
 
@@ -123,7 +162,25 @@ impl DeploymentBuilder {
     }
 
     /// Build, run for the configured duration, stop, and report.
-    pub fn run(self) -> DeploymentReport {
+    pub fn run(mut self) -> DeploymentReport {
+        // Queue defaults are derived from the *actual* batch size and
+        // verifier fan-out of this deployment (not the builder defaults),
+        // then per-stage overrides apply.
+        let mut queues = StageQueues::derive(self.batch_size, self.pipeline.verifier_threads);
+        if let Some(p) = self.input_queue {
+            queues.input = p;
+        }
+        if let Some(p) = self.work_queue {
+            queues.work = p;
+        }
+        if let Some(p) = self.exec_queue {
+            queues.exec = p;
+        }
+        if let Some(p) = self.output_queue {
+            queues.output = p;
+        }
+        self.pipeline.queues = queues;
+
         let system = SystemConfig::geo(self.z, self.n).expect("valid system");
         let mut cfg = ProtocolConfig::new(system.clone());
         cfg.batch_size = self.batch_size;
@@ -159,7 +216,8 @@ impl DeploymentBuilder {
             let exec_store = KvStore::with_ycsb_records(self.records);
             let protocol =
                 registry::build_replica(self.kind, cfg.clone(), rid, crypto.preverified(), store);
-            let handle = transport.register(rid.into());
+            // The replica's inbox is the bounded input-stage queue.
+            let handle = transport.register_bounded(rid.into(), self.pipeline.queues.input);
             prepared.push((protocol, handle, verify, exec_store));
         }
 

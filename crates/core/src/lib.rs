@@ -46,6 +46,18 @@
 //! (`ComputeModel::pipeline`), so simulated and real runs share one
 //! pipeline abstraction end to end.
 //!
+//! ## Bounded queues and backpressure
+//!
+//! Every inter-stage channel is **bounded** ([`queue::StageQueues`],
+//! derived from batch size and verifier fan-out, overridable per stage on
+//! the [`deployment::DeploymentBuilder`]): at the bound, droppable
+//! consensus traffic is *shed* (counted per stage) while client
+//! `Request`s *block* their submitter, propagating admission control from
+//! an overloaded replica all the way back to the client thread. Per-stage
+//! `shed` counts and `blocked_ns` in [`metrics::StageSnapshot`] make the
+//! overload behavior observable; see [`queue`] for the full policy
+//! rationale (including why this is deadlock-free).
+//!
 //! Clients run closed-loop on their own threads. The
 //! [`deployment::DeploymentBuilder`] assembles a full system in-process —
 //! with real signatures, real execution against the YCSB store, and
@@ -57,10 +69,12 @@ pub mod deployment;
 pub mod metrics;
 pub mod node;
 pub mod pipeline;
+pub mod queue;
 pub mod transport;
 
 pub use deployment::{DeploymentBuilder, DeploymentReport};
 pub use metrics::{Metrics, StageRow, StageSnapshot};
 pub use node::{ClientRuntime, ReplicaRuntime};
 pub use pipeline::{PipelineConfig, VerifyCtx};
-pub use transport::{Envelope, InProcTransport, TransportHandle};
+pub use queue::{Overload, QueuePolicy, StageQueues};
+pub use transport::{Envelope, InProcTransport, TransportHandle, TransportSender};

@@ -6,6 +6,14 @@
 //! depth, plus an accumulated busy time. Occupancy (busy time divided by
 //! wall-clock and thread count) is what the `pipeline` bench plots against
 //! verifier fan-out.
+//!
+//! Since the stage queues became bounded ([`crate::queue`]), each stage
+//! additionally counts its *overload* behavior, attributed to the stage
+//! **fed by** the full queue: `shed` is the number of droppable messages
+//! dropped at that stage's full queue, and `blocked` (`blocked_ns`) is the
+//! accumulated time producers spent parked on it waiting for room — the
+//! backpressure actually applied upstream. Shed items are never counted
+//! as `enqueued`, so `queue_depth` stays the live backlog.
 
 use parking_lot::Mutex;
 use rdb_consensus::stage::Stage;
@@ -24,7 +32,9 @@ struct StageCell {
     enqueued: AtomicU64,
     processed: AtomicU64,
     dropped: AtomicU64,
+    shed: AtomicU64,
     busy_ns: AtomicU64,
+    blocked_ns: AtomicU64,
 }
 
 struct StageTable([StageCell; 5]);
@@ -106,6 +116,31 @@ impl Metrics {
         self.stage_batch(stage, 0, 1, Duration::ZERO);
     }
 
+    /// One droppable message was shed at `stage`'s full input queue
+    /// (never counted as enqueued — the queue rejected it).
+    pub fn stage_shed(&self, stage: Stage) {
+        self.stage_shed_many(stage, 1);
+    }
+
+    /// `n` messages were shed at `stage`'s full input queue.
+    pub fn stage_shed_many(&self, stage: Stage, n: u64) {
+        if n > 0 {
+            self.inner.cell(stage).shed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// A producer spent `wait` parked on `stage`'s full input queue — the
+    /// backpressure the stage applied upstream.
+    pub fn stage_blocked(&self, stage: Stage, wait: Duration) {
+        let ns = wait.as_nanos() as u64;
+        if ns > 0 {
+            self.inner
+                .cell(stage)
+                .blocked_ns
+                .fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
     /// `stage` finished a batch: `processed` items passed on, `dropped`
     /// items discarded, `busy` spent on the whole batch.
     pub fn stage_batch(&self, stage: Stage, processed: u64, dropped: u64, busy: Duration) {
@@ -151,8 +186,10 @@ impl Metrics {
                         enqueued,
                         processed,
                         dropped,
+                        shed: cell.shed.load(Ordering::Relaxed),
                         queue_depth: enqueued.saturating_sub(processed).saturating_sub(dropped),
                         busy: Duration::from_nanos(cell.busy_ns.load(Ordering::Relaxed)),
+                        blocked: Duration::from_nanos(cell.blocked_ns.load(Ordering::Relaxed)),
                     }
                 })
                 .collect(),
@@ -216,19 +253,25 @@ impl StageSnapshot {
         &self.rows[stage.index()]
     }
 
-    /// One-line summary (stage: processed/dropped/depth busy).
+    /// One-line summary (stage: processed/dropped/shed/depth busy,
+    /// blocked time when any producer actually waited).
     pub fn summary(&self) -> String {
         self.rows
             .iter()
             .map(|r| {
-                format!(
-                    "{}: {}p/{}d q={} busy={:?}",
+                let mut s = format!(
+                    "{}: {}p/{}d/{}s q={} busy={:?}",
                     r.stage.label(),
                     r.processed,
                     r.dropped,
+                    r.shed,
                     r.queue_depth,
                     r.busy
-                )
+                );
+                if !r.blocked.is_zero() {
+                    s.push_str(&format!(" blocked={:?}", r.blocked));
+                }
+                s
             })
             .collect::<Vec<_>>()
             .join(" | ")
@@ -246,10 +289,17 @@ pub struct StageRow {
     pub processed: u64,
     /// Items the stage discarded (failed verification).
     pub dropped: u64,
+    /// Droppable messages shed at this stage's full bounded queue
+    /// (overload policy [`crate::queue::Overload::Shed`]); never counted
+    /// in `enqueued`.
+    pub shed: u64,
     /// Items still queued at snapshot time.
     pub queue_depth: u64,
     /// Accumulated busy time across the stage's threads.
     pub busy: Duration,
+    /// Accumulated time producers spent blocked on this stage's full
+    /// queue — the backpressure applied upstream.
+    pub blocked: Duration,
 }
 
 impl StageRow {
@@ -316,6 +366,25 @@ mod tests {
         // Untouched stages stay zero.
         assert_eq!(snap.row(Stage::Execute).enqueued, 0);
         assert!(!snap.summary().is_empty());
+    }
+
+    #[test]
+    fn overload_counters_track_shed_and_blocked() {
+        let m = Metrics::new();
+        m.stage_shed(Stage::Input);
+        m.stage_shed_many(Stage::Input, 3);
+        m.stage_blocked(Stage::Input, Duration::from_micros(40));
+        m.stage_blocked(Stage::Input, Duration::from_micros(60));
+        let snap = m.stage_snapshot();
+        let row = snap.row(Stage::Input);
+        assert_eq!(row.shed, 4);
+        assert_eq!(row.blocked, Duration::from_micros(100));
+        // Shed items never entered the queue: depth is untouched.
+        assert_eq!(row.queue_depth, 0);
+        assert!(snap.summary().contains("blocked"));
+        // Stages that never overloaded report zero.
+        assert_eq!(snap.row(Stage::Order).shed, 0);
+        assert_eq!(snap.row(Stage::Order).blocked, Duration::ZERO);
     }
 
     #[test]

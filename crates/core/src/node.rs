@@ -3,13 +3,15 @@
 //!
 //! A replica runs the full Figure-9 pipeline (see the crate docs):
 //! input → verifier pool → ordering worker → execution → output, each on
-//! its own OS thread(s), connected by unbounded MPMC channels and metered
-//! by per-stage counters in [`Metrics`].
+//! its own OS thread(s), connected by *bounded* MPMC channels sized by
+//! [`PipelineConfig::queues`] (see [`crate::queue`] for the overload
+//! policies) and metered by per-stage counters in [`Metrics`].
 
 use crate::metrics::Metrics;
 use crate::pipeline::{spawn_executor, spawn_verifiers, PipelineConfig, VerifyCtx};
+use crate::queue::{send_with_policy, StageQueues};
 use crate::transport::TransportHandle;
-use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use rdb_common::ids::NodeId;
 use rdb_common::time::SimTime;
 use rdb_consensus::api::{Action, ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
@@ -179,9 +181,22 @@ impl ReplicaRuntime {
     ) -> ReplicaRuntime {
         let node = handle.node;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (work_tx, work_rx) = unbounded::<rdb_consensus::stage::VerifiedMessage>();
-        let (exec_tx, exec_rx) = unbounded::<Decision>();
-        let (out_tx, out_rx) = unbounded::<(NodeId, Message)>();
+        // Every inter-stage channel is bounded (the tentpole of the
+        // backpressure design): an overloaded stage parks or sheds its
+        // producers instead of growing memory without bound. Capacities
+        // are clamped to ≥ 1 in case a policy was built by hand instead
+        // of through the QueuePolicy constructors.
+        let queues = pipeline.queues;
+        let (work_tx, work_rx) =
+            bounded::<rdb_consensus::stage::VerifiedMessage>(queues.work.capacity.max(1));
+        let (exec_tx, exec_rx) = bounded::<Decision>(queues.exec.capacity.max(1));
+        let (out_tx, out_rx) = bounded::<(NodeId, Message)>(queues.output.capacity.max(1));
+
+        // The verifier pool must be the *sole* owner of the inbox
+        // receiver (see `TransportHandle::split`): when the verifiers
+        // exit during shutdown, the inbox disconnects and releases any
+        // peer parked in a blocking delivery to this replica.
+        let (inbox, sender) = handle.split();
 
         // Input + verify stages: N parallel threads draining the transport
         // inbox with batched signature checks.
@@ -189,7 +204,7 @@ impl ReplicaRuntime {
             node,
             pipeline,
             verify,
-            handle.inbox.clone(),
+            inbox,
             work_tx,
             metrics.clone(),
             Arc::clone(&shutdown),
@@ -208,7 +223,7 @@ impl ReplicaRuntime {
                     match out_rx.recv_timeout(Duration::from_millis(20)) {
                         Ok((to, msg)) => {
                             out_metrics.record_message();
-                            handle.send(to, msg);
+                            sender.send(to, msg);
                             out_metrics.stage_processed(Stage::Output, Duration::ZERO);
                         }
                         Err(RecvTimeoutError::Timeout) => {}
@@ -227,7 +242,14 @@ impl ReplicaRuntime {
                 let mut wheel = TimerWheel::new(epoch);
                 let mut out = Outbox::new();
                 protocol.on_start(wheel.now(), &mut out);
-                process_replica_actions(out.take(), &mut wheel, &out_tx, &exec_tx, &worker_metrics);
+                process_replica_actions(
+                    out.take(),
+                    &mut wheel,
+                    &out_tx,
+                    &exec_tx,
+                    &worker_metrics,
+                    &queues,
+                );
                 while !stop.load(Ordering::Relaxed) {
                     match work_rx.recv_timeout(wheel.next_wait()) {
                         Ok(vm) => {
@@ -244,6 +266,7 @@ impl ReplicaRuntime {
                                 &out_tx,
                                 &exec_tx,
                                 &worker_metrics,
+                                &queues,
                             );
                             worker_metrics.stage_processed(Stage::Order, t0.elapsed());
                         }
@@ -260,6 +283,7 @@ impl ReplicaRuntime {
                             &out_tx,
                             &exec_tx,
                             &worker_metrics,
+                            &queues,
                         );
                         worker_metrics.stage_batch(Stage::Order, 0, 0, t0.elapsed());
                     }
@@ -304,20 +328,46 @@ fn process_replica_actions(
     out_tx: &Sender<(NodeId, Message)>,
     exec_tx: &Sender<Decision>,
     metrics: &Metrics,
+    queues: &StageQueues,
 ) {
     let (mut sends, mut decisions) = (0u64, 0u64);
     for a in actions {
         match a {
             Action::Send { to, msg } => {
-                sends += 1;
-                let _ = out_tx.send((to, msg));
+                // The worker blocks on a full output queue (its wait is
+                // the Output stage's blocked_ns); a Shed policy may drop
+                // droppable outbound traffic instead.
+                let droppable = msg.droppable();
+                if send_with_policy(
+                    out_tx,
+                    (to, msg),
+                    queues.output,
+                    droppable,
+                    metrics,
+                    Stage::Output,
+                ) == crate::queue::SendOutcome::Sent
+                {
+                    sends += 1;
+                }
             }
             Action::SetTimer { kind, after } => wheel.set(kind, after),
             Action::CancelTimer { kind } => wheel.cancel(kind),
             Action::Decided(decision) => {
-                decisions += 1;
                 metrics.record_decision();
-                let _ = exec_tx.send(decision);
+                // Decisions are agreed state: never shed, always block
+                // (the executor drains continuously, so this wait is
+                // bounded by execution lag, not by peers).
+                if send_with_policy(
+                    exec_tx,
+                    decision,
+                    queues.exec,
+                    false,
+                    metrics,
+                    Stage::Execute,
+                ) == crate::queue::SendOutcome::Sent
+                {
+                    decisions += 1;
+                }
             }
             Action::RequestComplete { .. } => {}
         }

@@ -15,8 +15,15 @@
 //!   node's `rdb-store` table and appending them to the `rdb-ledger`
 //!   chain, so neither store writes nor ledger hashing sit on the
 //!   consensus critical path.
+//!
+//! Every hand-off between stages runs over a *bounded* channel sized by
+//! [`PipelineConfig::queues`] (see [`crate::queue`] for the overload
+//! policies): the verifier pool blocks on a full work queue, which is how
+//! backpressure propagates backwards from the worker to the transport
+//! edge and ultimately to submitting clients.
 
 use crate::metrics::Metrics;
+use crate::queue::{send_with_policy, SendOutcome, StageQueues};
 use crate::transport::Envelope;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rdb_common::config::SystemConfig;
@@ -31,7 +38,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Thread layout of one replica's pipeline.
+/// Thread and queue layout of one replica's pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Parallel verifier threads between input and worker.
@@ -39,6 +46,11 @@ pub struct PipelineConfig {
     /// Maximum envelopes one verifier drains per wakeup (batched
     /// signature checking amortizes queue synchronization).
     pub verify_batch: usize,
+    /// Bounded inter-stage queue layout (capacity + overload policy per
+    /// queue; see [`crate::queue`]). Every channel between stages is
+    /// bounded — an overloaded replica sheds droppable traffic or blocks
+    /// its producers instead of growing memory without bound.
+    pub queues: StageQueues,
 }
 
 impl Default for PipelineConfig {
@@ -46,20 +58,27 @@ impl Default for PipelineConfig {
     /// sizes its thread pools to the testbed's cores: one verifier on
     /// small hosts, two on ~8-core machines, up to four beyond that.
     /// Extra pool threads on a starved host only add context switches.
+    /// Queues are derived from the default batch size and that fan-out
+    /// ([`StageQueues::derive`]).
     fn default() -> Self {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let verifier_threads = (cores / 4).clamp(1, 4);
         PipelineConfig {
-            verifier_threads: (cores / 4).clamp(1, 4),
+            verifier_threads,
             verify_batch: 16,
+            queues: StageQueues::derive(10, verifier_threads),
         }
     }
 }
 
 impl PipelineConfig {
-    /// A pipeline with `n` verifier threads (at least one).
+    /// A pipeline with `n` verifier threads (at least one); queues are
+    /// re-derived for that fan-out.
     pub fn with_verifiers(n: usize) -> PipelineConfig {
+        let n = n.max(1);
         PipelineConfig {
-            verifier_threads: n.max(1),
+            verifier_threads: n,
+            queues: StageQueues::derive(10, n),
             ..PipelineConfig::default()
         }
     }
@@ -96,7 +115,7 @@ pub(crate) fn spawn_verifiers(
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("{node}-verify{i}"))
-                .spawn(move || verifier_loop(&verify, &rx, &tx, &metrics, &stop, cfg.verify_batch))
+                .spawn(move || verifier_loop(&verify, &rx, &tx, &metrics, &stop, cfg))
                 .expect("spawn verifier thread")
         })
         .collect()
@@ -108,14 +127,15 @@ fn verifier_loop(
     tx: &Sender<VerifiedMessage>,
     metrics: &Metrics,
     stop: &AtomicBool,
-    batch_limit: usize,
+    cfg: PipelineConfig,
 ) {
-    let mut batch = Vec::with_capacity(batch_limit.max(1));
+    let batch_limit = cfg.verify_batch.max(1);
+    let mut batch = Vec::with_capacity(batch_limit);
     while !stop.load(Ordering::Relaxed) {
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(env) => {
                 batch.push(env);
-                while batch.len() < batch_limit.max(1) {
+                while batch.len() < batch_limit {
                     match rx.try_recv() {
                         Ok(env) => batch.push(env),
                         Err(_) => break,
@@ -126,20 +146,35 @@ fn verifier_loop(
                 metrics.stage_batch(Stage::Input, batch.len() as u64, 0, Duration::ZERO);
                 metrics.stage_enqueued_many(Stage::Verify, batch.len() as u64);
                 let t0 = Instant::now();
-                let (mut ok, mut dropped) = (0u64, 0u64);
+                let (mut ok, mut dropped, mut forwarded) = (0u64, 0u64, 0u64);
                 for env in batch.drain(..) {
                     match VerifiedMessage::check(&verify.system, &verify.crypto, env.from, env.msg)
                     {
                         Some(vm) => {
                             ok += 1;
-                            if tx.send(vm).is_err() {
-                                return; // worker gone: shutting down
+                            let droppable = vm.message().droppable();
+                            // A full work queue parks this verifier
+                            // (Block) — which stops it draining the inbox
+                            // and pushes the pressure to the transport
+                            // edge — or sheds droppable traffic (Shed),
+                            // counted against the Order stage.
+                            match send_with_policy(
+                                tx,
+                                vm,
+                                cfg.queues.work,
+                                droppable,
+                                metrics,
+                                Stage::Order,
+                            ) {
+                                SendOutcome::Sent => forwarded += 1,
+                                SendOutcome::Shed => {}
+                                SendOutcome::Disconnected => return, // worker gone
                             }
                         }
                         None => dropped += 1,
                     }
                 }
-                metrics.stage_enqueued_many(Stage::Order, ok);
+                metrics.stage_enqueued_many(Stage::Order, forwarded);
                 metrics.stage_batch(Stage::Verify, ok, dropped, t0.elapsed());
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -188,9 +223,10 @@ pub(crate) fn spawn_executor(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use crate::queue::QueuePolicy;
+    use crossbeam::channel::{bounded, unbounded};
     use rdb_common::ids::{ClientId, ClusterId, ReplicaId};
-    use rdb_consensus::messages::Message;
+    use rdb_consensus::messages::{Message, Scope};
     use rdb_consensus::types::{ClientBatch, DecisionEntry, SignedBatch, Transaction};
     use rdb_crypto::digest::Digest;
     use rdb_crypto::sign::KeyStore;
@@ -275,6 +311,111 @@ mod tests {
         for vm in passed {
             assert!(matches!(vm.message(), Message::Request(_)));
         }
+    }
+
+    #[test]
+    fn verifier_pool_sheds_droppable_traffic_at_full_work_queue() {
+        let (verify, _ks) = verify_ctx();
+        let (verify_tx, verify_rx) = unbounded::<Envelope>();
+        // A work queue of 2 that nobody drains: the first two verified
+        // messages fill it, the rest must be shed (Prepares are
+        // droppable), never blocking the verifier.
+        let (work_tx, work_rx) = bounded::<VerifiedMessage>(2);
+        let metrics = Metrics::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut cfg = PipelineConfig::with_verifiers(1);
+        cfg.queues.work = QueuePolicy::shed(2);
+        let handles = spawn_verifiers(
+            ReplicaId::new(0, 0).into(),
+            cfg,
+            verify,
+            verify_rx,
+            work_tx,
+            metrics.clone(),
+            Arc::clone(&stop),
+        );
+        let from: NodeId = ReplicaId::new(0, 1).into();
+        for seq in 0..6u64 {
+            verify_tx
+                .send(Envelope {
+                    from,
+                    to: ReplicaId::new(0, 0).into(),
+                    msg: Message::Prepare {
+                        scope: Scope::Global,
+                        view: 0,
+                        seq,
+                        digest: Digest::ZERO,
+                    },
+                })
+                .unwrap();
+        }
+        // The verifier keeps draining (never parks): wait until all six
+        // messages are accounted for as forwarded-or-shed.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = metrics.stage_snapshot();
+            let row = snap.row(Stage::Order);
+            if row.enqueued + row.shed == 6 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "stalled: {}", snap.summary());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = metrics.stage_snapshot();
+        assert_eq!(snap.row(Stage::Order).enqueued, 2);
+        assert_eq!(snap.row(Stage::Order).shed, 4);
+        assert_eq!(snap.row(Stage::Verify).processed, 6, "all were verified");
+        assert_eq!(work_rx.len(), 2, "queue depth stayed at its bound");
+    }
+
+    #[test]
+    fn verifier_pool_blocks_on_undroppable_traffic() {
+        let (verify, ks) = verify_ctx();
+        let (verify_tx, verify_rx) = unbounded::<Envelope>();
+        let (work_tx, work_rx) = bounded::<VerifiedMessage>(1);
+        let metrics = Metrics::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut cfg = PipelineConfig::with_verifiers(1);
+        // Even under Shed, client Requests are non-droppable: the
+        // verifier parks on the full queue instead of losing them.
+        cfg.queues.work = QueuePolicy::shed(1);
+        let handles = spawn_verifiers(
+            ReplicaId::new(0, 0).into(),
+            cfg,
+            verify,
+            verify_rx,
+            work_tx,
+            metrics.clone(),
+            Arc::clone(&stop),
+        );
+        for i in 0..4u32 {
+            verify_tx.send(request(&ks, i, true)).unwrap();
+        }
+        // Drain slowly: every request must come through despite the
+        // 1-slot queue.
+        let mut got = 0;
+        while got < 4 {
+            std::thread::sleep(Duration::from_millis(10));
+            if work_rx.recv_timeout(Duration::from_secs(5)).is_ok() {
+                got += 1;
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = metrics.stage_snapshot();
+        assert_eq!(snap.row(Stage::Order).shed, 0, "requests must not shed");
+        assert_eq!(snap.row(Stage::Order).enqueued, 4);
+        assert!(
+            snap.row(Stage::Order).blocked > Duration::ZERO,
+            "the verifier must have waited for room: {}",
+            snap.summary()
+        );
     }
 
     #[test]

@@ -1,8 +1,29 @@
 //! In-process transport: crossbeam channels between nodes, with optional
 //! injected per-link delays to emulate a geo-distributed deployment on one
 //! machine.
+//!
+//! Replica inboxes registered via [`InProcTransport::register_bounded`]
+//! are the pipeline's *input stage queue*: delivery applies the queue's
+//! [`QueuePolicy`] — droppable consensus traffic is shed at the bound
+//! (counted per stage), while client `Request`s block the delivering
+//! thread, which is exactly how admission control propagates from an
+//! overloaded replica back to the submitting client. Client inboxes stay
+//! unbounded ([`InProcTransport::register`]): clients are closed-loop and
+//! drain their own replies, so they are leaves of the blocking graph.
+//!
+//! Delayed links (a [`DelayFn`] topology) relax admission: a delayed
+//! send parks in the delay wheel — modeling traffic in flight on the
+//! WAN — and returns immediately, so the *sender* does not block. The
+//! single pump thread then delivers without ever parking: droppable
+//! traffic is shed per the inbox policy, and a non-droppable message
+//! that finds the inbox full is requeued briefly and retried (the
+//! pump's `deliver_or_requeue`), i.e. it stays "in the network" until
+//! the replica has room. In-flight wheel memory is
+//! bounded by the closed-loop clients' outstanding requests plus
+//! consensus traffic, not by wall-clock.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::queue::{send_with_policy, QueuePolicy, SendOutcome};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use rdb_common::ids::NodeId;
 use rdb_common::time::SimDuration;
@@ -51,16 +72,25 @@ impl Ord for DelayedEntry {
     }
 }
 
+/// One registered node's inbox: its sender plus the input-stage queue
+/// policy (None for unbounded client/test inboxes).
+struct InboxEntry {
+    tx: Sender<Envelope>,
+    policy: Option<QueuePolicy>,
+}
+
 struct Shared {
-    inboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+    inboxes: Mutex<HashMap<NodeId, InboxEntry>>,
     delay: Option<DelayFn>,
     wheel: Mutex<BinaryHeap<Reverse<DelayedEntry>>>,
     wheel_cv: Condvar,
     running: AtomicBool,
     seq: std::sync::atomic::AtomicU64,
     /// When attached, replica-bound deliveries count as input-stage
-    /// enqueues, so `queue_depth(Stage::Input)` is the live inbox backlog.
-    metrics: Option<crate::metrics::Metrics>,
+    /// enqueues (so `queue_depth(Stage::Input)` is the live inbox
+    /// backlog) and overload behavior lands in the input stage's
+    /// `shed`/`blocked_ns`. When not, a private sink absorbs the counts.
+    metrics: crate::metrics::Metrics,
 }
 
 /// The in-process transport. Cloneable handle.
@@ -86,7 +116,8 @@ impl InProcTransport {
     }
 
     /// Like [`InProcTransport::new`], additionally recording every
-    /// replica-bound delivery as an input-stage enqueue in `metrics`.
+    /// replica-bound delivery as an input-stage enqueue in `metrics`
+    /// (and input-stage shed/blocked accounting for bounded inboxes).
     pub fn with_metrics(
         delay: Option<DelayFn>,
         metrics: Option<crate::metrics::Metrics>,
@@ -99,7 +130,7 @@ impl InProcTransport {
                 wheel_cv: Condvar::new(),
                 running: AtomicBool::new(true),
                 seq: std::sync::atomic::AtomicU64::new(0),
-                metrics,
+                metrics: metrics.unwrap_or_default(),
             }),
         };
         if t.shared.delay.is_some() {
@@ -108,10 +139,34 @@ impl InProcTransport {
         t
     }
 
-    /// Register a node, returning its endpoint.
+    /// Register a node with an unbounded inbox (clients, tests).
     pub fn register(&self, node: NodeId) -> TransportHandle {
         let (tx, rx) = unbounded();
-        self.shared.inboxes.lock().insert(node, tx);
+        self.shared
+            .inboxes
+            .lock()
+            .insert(node, InboxEntry { tx, policy: None });
+        TransportHandle {
+            node,
+            inbox: rx,
+            transport: self.clone(),
+        }
+    }
+
+    /// Register a node whose inbox is the bounded input-stage queue of
+    /// its pipeline: deliveries at the bound shed droppable traffic or
+    /// block the sender per `policy` (see [`crate::queue`]). A
+    /// hand-built policy with `capacity: 0` is clamped to 1 (the
+    /// [`QueuePolicy`] constructors already guarantee ≥ 1).
+    pub fn register_bounded(&self, node: NodeId, policy: QueuePolicy) -> TransportHandle {
+        let (tx, rx) = bounded(policy.capacity.max(1));
+        self.shared.inboxes.lock().insert(
+            node,
+            InboxEntry {
+                tx,
+                policy: Some(policy),
+            },
+        );
         TransportHandle {
             node,
             inbox: rx,
@@ -141,12 +196,37 @@ impl InProcTransport {
     }
 
     fn deliver(&self, env: Envelope) {
-        let inboxes = self.shared.inboxes.lock();
-        if let Some(tx) = inboxes.get(&env.to) {
-            if let (Some(m), NodeId::Replica(_)) = (&self.shared.metrics, env.to) {
-                m.stage_enqueued(rdb_consensus::stage::Stage::Input);
+        // Clone the sender out of the registry so a blocking (bounded)
+        // send never holds the inbox lock: other deliveries keep flowing
+        // while one producer is parked on a full input queue.
+        let (tx, policy) = {
+            let inboxes = self.shared.inboxes.lock();
+            match inboxes.get(&env.to) {
+                Some(e) => (e.tx.clone(), e.policy),
+                None => return, // disconnected (crash tests): drop
             }
-            let _ = tx.send(env); // receiver may have shut down: drop
+        };
+        let to_replica = matches!(env.to, NodeId::Replica(_));
+        let metrics = &self.shared.metrics;
+        let stage = rdb_consensus::stage::Stage::Input;
+        match policy {
+            None => {
+                if to_replica {
+                    metrics.stage_enqueued(stage);
+                }
+                let _ = tx.send(env); // receiver may have shut down: drop
+            }
+            Some(p) => {
+                // Shed applies only to droppable traffic; a client's
+                // Request blocks here — the end of the backpressure
+                // chain, parking the submitting client thread itself.
+                let droppable = env.msg.droppable();
+                if send_with_policy(&tx, env, p, droppable, metrics, stage) == SendOutcome::Sent
+                    && to_replica
+                {
+                    metrics.stage_enqueued(stage);
+                }
+            }
         }
     }
 
@@ -160,6 +240,58 @@ impl InProcTransport {
     pub fn shutdown(&self) {
         self.shared.running.store(false, Ordering::SeqCst);
         self.shared.wheel_cv.notify_all();
+    }
+
+    /// Non-blocking delivery for the delay pump: the pump is a single
+    /// thread serving every delayed link, so it must never park on one
+    /// replica's full inbox (that would stall delayed traffic
+    /// cluster-wide). Droppable traffic is shed per the inbox policy as
+    /// usual; a non-droppable message that finds the queue full is
+    /// pushed back into the wheel and retried shortly — the message
+    /// stays "in the network" until the inbox has room, which is the
+    /// delayed-link analogue of the blocking admission on direct links.
+    fn deliver_or_requeue(&self, env: Envelope) {
+        let (tx, policy) = {
+            let inboxes = self.shared.inboxes.lock();
+            match inboxes.get(&env.to) {
+                Some(e) => (e.tx.clone(), e.policy),
+                None => return, // disconnected (crash tests): drop
+            }
+        };
+        let to_replica = matches!(env.to, NodeId::Replica(_));
+        match tx.try_send(env) {
+            Ok(()) => {
+                if to_replica {
+                    self.shared
+                        .metrics
+                        .stage_enqueued(rdb_consensus::stage::Stage::Input);
+                }
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {}
+            Err(crossbeam::channel::TrySendError::Full(env)) => {
+                let shed = match policy {
+                    Some(p) => p.overload == crate::queue::Overload::Shed && env.msg.droppable(),
+                    // Unbounded inboxes are never Full; unreachable.
+                    None => false,
+                };
+                if shed {
+                    if to_replica {
+                        self.shared
+                            .metrics
+                            .stage_shed(rdb_consensus::stage::Stage::Input);
+                    }
+                    return;
+                }
+                let due = Instant::now() + Duration::from_micros(200);
+                let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .wheel
+                    .lock()
+                    .push(Reverse(DelayedEntry { due, seq, env }));
+                // No notify needed: the pump rechecks within its own
+                // wait timeout, and we are on the pump thread anyway.
+            }
+        }
     }
 
     fn spawn_pump(&self) {
@@ -177,7 +309,7 @@ impl InProcTransport {
                             Some(Reverse(e)) if e.due <= now => {
                                 let Reverse(e) = wheel.pop().expect("peeked");
                                 drop(wheel);
-                                me.deliver(e.env);
+                                me.deliver_or_requeue(e.env);
                                 wheel = shared.wheel.lock();
                             }
                             _ => break,
@@ -204,6 +336,43 @@ impl InProcTransport {
 }
 
 impl TransportHandle {
+    /// Send a message from this node.
+    pub fn send(&self, to: NodeId, msg: Message) {
+        self.transport.send(Envelope {
+            from: self.node,
+            to,
+            msg,
+        });
+    }
+
+    /// Split into the inbox receiver and a send-only handle.
+    ///
+    /// With bounded inboxes, receiver ownership is load-bearing for
+    /// shutdown: a peer parked in a blocking delivery is released only
+    /// when *every* receiver of the target inbox is dropped. The replica
+    /// pipeline therefore hands the receiver exclusively to its consumer
+    /// threads (the verifier pool) and gives producer-only stages this
+    /// sender — so a stopping replica's exiting consumers immediately
+    /// disconnect its inbox and unblock any parked senders, instead of
+    /// deadlocking the join on a receiver kept alive by a producer.
+    pub fn split(self) -> (Receiver<Envelope>, TransportSender) {
+        (
+            self.inbox,
+            TransportSender {
+                node: self.node,
+                transport: self.transport,
+            },
+        )
+    }
+}
+
+/// The sending half of a [`TransportHandle`] (no inbox receiver).
+pub struct TransportSender {
+    node: NodeId,
+    transport: InProcTransport,
+}
+
+impl TransportSender {
     /// Send a message from this node.
     pub fn send(&self, to: NodeId, msg: Message) {
         self.transport.send(Envelope {
@@ -277,6 +446,63 @@ mod tests {
         });
         let first = hd.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(first.from, fast, "shorter delay must arrive first");
+        t.shutdown();
+    }
+
+    #[test]
+    fn delay_pump_sheds_or_requeues_instead_of_parking() {
+        use crate::queue::QueuePolicy;
+        use rdb_common::ids::ClientId;
+        use rdb_consensus::types::SignedBatch;
+
+        let delay: DelayFn = Arc::new(|_, _| SimDuration::from_millis(5));
+        let t = InProcTransport::new(Some(delay));
+        let client: NodeId = ClientId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(0, 1).into();
+        let c: NodeId = ReplicaId::new(0, 2).into();
+        let _hc_sender = t.register(client);
+        let hb = t.register_bounded(b, QueuePolicy::shed(1));
+        let hc = t.register(c);
+
+        let request = || Message::Request(SignedBatch::noop(rdb_common::ids::ClusterId(0), 1));
+        // Fill b's 1-slot inbox, then overflow it with one droppable
+        // (shed) and one non-droppable (requeued) message, and follow
+        // with traffic for c that must not be stalled behind them.
+        t.send(Envelope {
+            from: client,
+            to: b,
+            msg: Message::Noop,
+        });
+        t.send(Envelope {
+            from: client,
+            to: b,
+            msg: Message::Noop,
+        });
+        t.send(Envelope {
+            from: client,
+            to: b,
+            msg: request(),
+        });
+        t.send(Envelope {
+            from: client,
+            to: c,
+            msg: Message::Noop,
+        });
+
+        // c's delivery proves the pump never parked on b's full inbox.
+        hc.inbox
+            .recv_timeout(Duration::from_secs(2))
+            .expect("pump must keep serving other links");
+        // Drain b: first the queued Noop, then the retried Request; the
+        // second (droppable) Noop was shed and never arrives.
+        let first = hb.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(matches!(first.msg, Message::Noop));
+        let second = hb.inbox.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(
+            matches!(second.msg, Message::Request(_)),
+            "non-droppable overflow must be retried, not lost"
+        );
+        assert!(hb.inbox.recv_timeout(Duration::from_millis(100)).is_err());
         t.shutdown();
     }
 

@@ -14,10 +14,31 @@
 use rdb_consensus::messages::Message;
 use serde::{Deserialize, Serialize};
 
+/// Overload policy of the modeled bounded input queue — the virtual twin
+/// of `resilientdb::queue::Overload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Overload {
+    /// Admission never drops: messages over the bound simply wait for the
+    /// verifier pool, and the wait is accounted as blocked time
+    /// (`NetStats::blocked_wait`). Because the modeled pool is
+    /// work-conserving and FIFO, Block changes *no* delivery schedule —
+    /// it only makes the queueing observable — which is why it is the
+    /// simulator default: figure reproductions are unaffected.
+    Block,
+    /// Mirror the fabric's shed-on-full input stage: droppable messages
+    /// (per `Message::droppable`) arriving while the virtual queue is at
+    /// capacity are dropped and counted (`NetStats::shed_msgs`);
+    /// non-droppable client requests still wait. Opt in for saturation
+    /// studies, as the fabric's overload tests do.
+    Shed,
+}
+
 /// The modeled stage layout of a node's pipeline (paper Figure 9): how
-/// many dedicated verifier threads check inbound signatures, and whether
-/// decisions execute on their own core instead of the ordering worker.
-/// Mirrors the real fabric's `resilientdb::pipeline::PipelineConfig`.
+/// many dedicated verifier threads check inbound signatures, whether
+/// decisions execute on their own core instead of the ordering worker,
+/// and the bound + overload policy of the virtual input queue.
+/// Mirrors the real fabric's `resilientdb::pipeline::PipelineConfig`
+/// (including its `queues.input` bound).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineModel {
     /// Parallel verifier threads (fan-out of the Verify stage).
@@ -27,36 +48,66 @@ pub struct PipelineModel {
     /// the worker either way — the state machines execute inside
     /// `on_message` to produce reply digests, in the real fabric too.
     pub dedicated_execution: bool,
+    /// Capacity of the virtual input queue (messages admitted but whose
+    /// verification has not yet started). `0` disables the bound — the
+    /// pre-backpressure strawman whose unbounded growth the "Looking
+    /// Glass" study documents.
+    pub input_capacity: usize,
+    /// What happens at the bound.
+    pub input_overload: Overload,
 }
 
 impl Default for PipelineModel {
     /// Two modeled verifiers: what the real fabric's host-sized default
     /// (`cores / 4`, clamped to 1..=4) resolves to on the paper's 8-core
-    /// N1 machines.
+    /// N1 machines. The input bound is derived from the paper's batch
+    /// size (100) and that fan-out via [`PipelineModel::input_capacity_for`],
+    /// with the schedule-neutral [`Overload::Block`] policy.
     fn default() -> Self {
         PipelineModel {
             verifier_threads: 2,
             dedicated_execution: true,
+            input_capacity: PipelineModel::input_capacity_for(100, 2),
+            input_overload: Overload::Block,
         }
     }
 }
 
 impl PipelineModel {
-    /// A single-threaded pipeline: everything on the worker (the paper's
-    /// "Looking Glass" strawman, and the pre-staging behavior).
+    /// A single-threaded pipeline: everything on the worker and an
+    /// unbounded inbox (the paper's "Looking Glass" strawman, and the
+    /// pre-staging behavior).
     pub fn single_threaded() -> PipelineModel {
         PipelineModel {
             verifier_threads: 0,
             dedicated_execution: false,
+            input_capacity: 0,
+            input_overload: Overload::Block,
         }
     }
 
-    /// A pipeline with `n` verifier threads and dedicated execution.
+    /// A pipeline with `n` verifier threads and dedicated execution; the
+    /// input bound is re-derived for that fan-out.
     pub fn with_verifiers(n: usize) -> PipelineModel {
         PipelineModel {
             verifier_threads: n,
-            dedicated_execution: true,
+            input_capacity: PipelineModel::input_capacity_for(100, n),
+            ..PipelineModel::default()
         }
+    }
+
+    /// Override the input queue bound and policy.
+    pub fn with_input_queue(mut self, capacity: usize, overload: Overload) -> PipelineModel {
+        self.input_capacity = capacity;
+        self.input_overload = overload;
+        self
+    }
+
+    /// The fabric's input-queue derivation (`StageQueues::derive` in
+    /// `resilientdb`): `32 · fan-out` envelopes of consensus chatter plus
+    /// `4 ·` batch size for request bursts, floor 64.
+    pub fn input_capacity_for(batch_size: usize, verifier_threads: usize) -> usize {
+        (32 * verifier_threads.max(1) + 4 * batch_size.max(1)).max(64)
     }
 }
 
@@ -282,9 +333,28 @@ mod tests {
         let single = PipelineModel::single_threaded();
         assert_eq!(single.verifier_threads, 0);
         assert!(!single.dedicated_execution);
+        assert_eq!(single.input_capacity, 0, "strawman is unbounded");
         let wide = PipelineModel::with_verifiers(4);
         assert_eq!(wide.verifier_threads, 4);
         assert!(wide.dedicated_execution);
         assert_eq!(ComputeModel::default().pipeline, PipelineModel::default());
+    }
+
+    #[test]
+    fn input_capacity_mirrors_fabric_derivation() {
+        // Same formula as resilientdb's StageQueues::derive.
+        assert_eq!(PipelineModel::input_capacity_for(1, 1), 64, "floor");
+        assert_eq!(PipelineModel::input_capacity_for(100, 2), 464);
+        assert_eq!(
+            PipelineModel::default().input_capacity,
+            PipelineModel::input_capacity_for(100, 2)
+        );
+        assert!(
+            PipelineModel::with_verifiers(4).input_capacity
+                > PipelineModel::with_verifiers(1).input_capacity
+        );
+        let q = PipelineModel::default().with_input_queue(8, Overload::Shed);
+        assert_eq!(q.input_capacity, 8);
+        assert_eq!(q.input_overload, Overload::Shed);
     }
 }

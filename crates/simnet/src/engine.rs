@@ -54,6 +54,14 @@ struct NodeState {
     /// Each modeled verifier thread is busy until its instant (sized from
     /// the compute model's [`crate::compute::PipelineModel`] on first use).
     verifier_free: Vec<SimTime>,
+    /// The bounded virtual input queue: service-start times of
+    /// *replica-held* messages whose verification has not yet begun.
+    /// Entries ≤ now are pruned on every delivery, so `len()` is the
+    /// live modeled depth — the virtual twin of the fabric's
+    /// `queue_depth(Stage::Input)`. Over-bound admissions are modeled as
+    /// held at the sender (the fabric's parked `send`) and never enter,
+    /// so the depth respects the configured bound.
+    input_queue: BinaryHeap<Reverse<SimTime>>,
     /// The dedicated execution core is busy until this instant.
     exec_free: SimTime,
     /// Intra-region NIC egress is busy until this instant.
@@ -220,13 +228,43 @@ impl Engine {
                 }
                 let model = self.model_for(to).clone();
                 let verifiers = model.pipeline.verifier_threads;
+                // Bounded virtual input queue (replica inboxes only —
+                // the twin of the fabric's bounded input stage): depth is
+                // the number of admitted messages whose service has not
+                // started by `t`.
+                let cap = model.pipeline.input_capacity;
+                let bounded_inbox = cap > 0 && matches!(to, NodeId::Replica(_));
+                let at_bound = {
+                    let state = self.nodes.entry(to).or_default();
+                    if bounded_inbox {
+                        while state.input_queue.peek().is_some_and(|&Reverse(s)| s <= t) {
+                            state.input_queue.pop();
+                        }
+                        state.input_queue.len() >= cap
+                    } else {
+                        false
+                    }
+                };
+                if at_bound
+                    && model.pipeline.input_overload == crate::compute::Overload::Shed
+                    && msg.droppable()
+                {
+                    // Shed-on-full, exactly as the fabric's input stage
+                    // does for droppable (retransmittable) traffic.
+                    self.stats.shed_msgs += 1;
+                    return;
+                }
                 let state = self.nodes.entry(to).or_default();
                 // Verify stage: the declared signature/MAC work runs on the
                 // earliest-free modeled verifier thread, in parallel with
                 // the worker. With an empty pool (single-threaded layout)
                 // the worker pays for verification itself.
-                let (verified_at, worker_cost) = if verifiers == 0 {
-                    (t, model.wall(model.receive_cost(&msg)))
+                let (service_start, verified_at, worker_cost) = if verifiers == 0 {
+                    (
+                        t.max(state.busy_until),
+                        t,
+                        model.wall(model.receive_cost(&msg)),
+                    )
                 } else {
                     if state.verifier_free.len() < verifiers {
                         state.verifier_free.resize(verifiers, SimTime::ZERO);
@@ -236,15 +274,36 @@ impl Engine {
                         .iter_mut()
                         .min()
                         .expect("pool is non-empty");
-                    let vdone = t.max(*slot) + SimDuration(model.verify_cost(&msg));
+                    let vstart = t.max(*slot);
+                    let vdone = vstart + SimDuration(model.verify_cost(&msg));
                     *slot = vdone;
-                    (vdone, model.wall(model.dispatch_cost(&msg)))
+                    (vstart, vdone, model.wall(model.dispatch_cost(&msg)))
                 };
                 // Order stage: the worker picks the message up once both
                 // it and the verifier are free.
                 let start = verified_at.max(state.busy_until);
                 let done = start + SimDuration(worker_cost);
                 state.busy_until = done;
+                if bounded_inbox {
+                    if at_bound {
+                        // Modeled blocking: the sender holds the message
+                        // at the *source* until the pool frees (exactly
+                        // the fabric's parked `send`), so it never
+                        // occupies the replica-held queue — the queue
+                        // stays at its bound and later droppable traffic
+                        // competes for freed slots instead of starving
+                        // behind blocked requests. The pool is FIFO and
+                        // work-conserving, so the wait changes no
+                        // schedule — it is made observable.
+                        self.stats.blocked_wait += service_start - t;
+                    } else {
+                        state.input_queue.push(Reverse(service_start));
+                        let depth = state.input_queue.len() as u64;
+                        if depth > self.stats.max_input_depth {
+                            self.stats.max_input_depth = depth;
+                        }
+                    }
+                }
                 let mut out = Outbox::new();
                 match to {
                     NodeId::Replica(rid) => {
@@ -796,6 +855,141 @@ mod tests {
         // dedicated core, past the worker's own busy horizon.
         assert!(staged_exec > staged_busy);
         assert_eq!(single_exec, SimTime::ZERO);
+    }
+
+    #[test]
+    fn modeled_queue_sheds_droppable_at_exact_bound() {
+        use crate::compute::{Overload, PipelineModel};
+        use rdb_crypto::digest::Digest;
+        use rdb_crypto::sign::Signature;
+        let commit = || Message::Commit {
+            scope: rdb_consensus::messages::Scope::Global,
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+            sig: Signature::default(),
+        };
+        // Two verifier slots, queue bound 2, Shed policy. Five commits at
+        // t=0: two start service immediately (free slots), two queue
+        // (depth 2 = the bound), the fifth is shed. Fully deterministic.
+        let topo = Topology::paper(&[Region::Oregon]);
+        let model = ComputeModel {
+            pipeline: PipelineModel::with_verifiers(2).with_input_queue(2, Overload::Shed),
+            ..ComputeModel::default()
+        };
+        let mut e = Engine::new(topo, model.clone(), model, FaultState::default());
+        let to = ReplicaId::new(0, 0);
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        e.add_replica(Box::new(Echo {
+            id: to,
+            peer: to,
+            received: counter.clone(),
+            reply: false,
+        }));
+        for _ in 0..5 {
+            e.route(
+                ReplicaId::new(0, 1).into(),
+                to.into(),
+                commit(),
+                SimTime::ZERO,
+            );
+        }
+        e.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(e.stats.shed_msgs, 1, "exactly one commit over the bound");
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            4,
+            "the four admitted commits are processed"
+        );
+        assert!(e.stats.max_input_depth <= 3, "depth bounded at cap + 1");
+    }
+
+    #[test]
+    fn modeled_queue_blocks_undroppable_requests_without_loss() {
+        use crate::compute::{Overload, PipelineModel};
+        // Same bound, but Requests (non-droppable) arrive: nothing is
+        // shed — admission waits, the wait is accounted, and every
+        // message is eventually processed.
+        let request = || {
+            Message::Request(rdb_consensus::types::SignedBatch::noop(
+                rdb_common::ids::ClusterId(0),
+                1,
+            ))
+        };
+        let topo = Topology::paper(&[Region::Oregon]);
+        let model = ComputeModel {
+            pipeline: PipelineModel::with_verifiers(2).with_input_queue(2, Overload::Shed),
+            ..ComputeModel::default()
+        };
+        let mut e = Engine::new(topo, model.clone(), model, FaultState::default());
+        let to = ReplicaId::new(0, 0);
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        e.add_replica(Box::new(Echo {
+            id: to,
+            peer: to,
+            received: counter.clone(),
+            reply: false,
+        }));
+        for _ in 0..6 {
+            e.route(
+                ReplicaId::new(0, 1).into(),
+                to.into(),
+                request(),
+                SimTime::ZERO,
+            );
+        }
+        e.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(e.stats.shed_msgs, 0, "requests must never shed");
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 6);
+        assert!(
+            e.stats.blocked_wait > SimDuration::ZERO,
+            "over-bound admissions must account their wait"
+        );
+    }
+
+    #[test]
+    fn block_policy_changes_no_schedule() {
+        use crate::compute::{Overload, PipelineModel};
+        // The Block bound is observability-only: a run with a tiny bound
+        // and a run with no bound process events identically.
+        let run = |capacity: usize| {
+            let topo = Topology::paper(&[Region::Oregon, Region::Sydney]);
+            let model = ComputeModel {
+                pipeline: PipelineModel::with_verifiers(2)
+                    .with_input_queue(capacity, Overload::Block),
+                ..ComputeModel::default()
+            };
+            let mut e = Engine::new(topo, model.clone(), model, FaultState::default());
+            let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let a = ReplicaId::new(0, 0);
+            let b = ReplicaId::new(1, 0);
+            e.add_replica(Box::new(Echo {
+                id: a,
+                peer: b,
+                received: counter.clone(),
+                reply: false,
+            }));
+            e.add_replica(Box::new(Echo {
+                id: b,
+                peer: a,
+                received: counter.clone(),
+                reply: true,
+            }));
+            for i in 0..20 {
+                e.route(a.into(), b.into(), Message::Noop, SimTime(i * 100));
+            }
+            e.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+            (
+                e.events_processed(),
+                counter.load(std::sync::atomic::Ordering::Relaxed),
+                e.now(),
+            )
+        };
+        let (bounded_ev, bounded_n, bounded_t) = run(1);
+        let (unbounded_ev, unbounded_n, unbounded_t) = run(0);
+        assert_eq!(bounded_ev, unbounded_ev);
+        assert_eq!(bounded_n, unbounded_n);
+        assert_eq!(bounded_t, unbounded_t);
     }
 
     #[test]

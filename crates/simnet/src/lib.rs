@@ -14,8 +14,11 @@
 //!    for signature/MAC operations, per-message handling, hashing and
 //!    execution, charged across a modeled Figure-9 stage layout
 //!    ([`compute::PipelineModel`]): inbound signature work lands on a
-//!    verifier-thread pool, ordering on the worker's busy-until queue,
-//!    and decision execution on a dedicated core — the same pipeline
+//!    verifier-thread pool behind a *bounded* virtual input queue
+//!    (capacity + [`compute::Overload`] policy, mirroring the fabric's
+//!    backpressure design — droppable traffic sheds at the bound,
+//!    requests wait), ordering on the worker's busy-until queue, and
+//!    decision execution on a dedicated core — the same pipeline
 //!    abstraction the real fabric (`resilientdb`) runs on OS threads.
 //! 3. **Timers** with generation-based cancellation.
 //!
@@ -31,7 +34,7 @@ pub mod scenario;
 pub mod stats;
 pub mod topology;
 
-pub use compute::{ComputeModel, PipelineModel};
+pub use compute::{ComputeModel, Overload, PipelineModel};
 pub use engine::Engine;
 pub use faults::FaultSpec;
 pub use scenario::{RunMetrics, Scenario};

@@ -253,6 +253,9 @@ impl Scenario {
             msgs_global_per_decision: stats.msgs_global as f64 / decisions as f64,
             global_mb_per_s: stats.bytes_global as f64 / secs / 1e6,
             completed_batches: stats.completed_batches,
+            shed_msgs: stats.shed_msgs,
+            blocked_s: stats.blocked_wait.as_secs_f64(),
+            max_input_depth: stats.max_input_depth,
             events: engine.events_processed(),
             stats,
         };
@@ -289,6 +292,15 @@ pub struct RunMetrics {
     pub global_mb_per_s: f64,
     /// Completed client batches in the window.
     pub completed_batches: u64,
+    /// Droppable messages shed at full modeled input queues (nonzero
+    /// only with `Overload::Shed` and offered load past capacity).
+    pub shed_msgs: u64,
+    /// Virtual seconds messages spent waiting for admission at full
+    /// modeled input queues (the modeled backpressure).
+    pub blocked_s: f64,
+    /// Deepest modeled input-queue backlog at any replica — bounded by
+    /// `PipelineModel::input_capacity + 1` when a bound is set.
+    pub max_input_depth: u64,
     /// Events processed (simulation cost).
     pub events: u64,
     /// Raw statistics.

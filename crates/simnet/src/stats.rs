@@ -29,6 +29,17 @@ pub struct NetStats {
     pub observer_decisions: u64,
     /// Transactions executed by the observation replica.
     pub observer_txns: u64,
+    /// Droppable messages shed at a full modeled input queue
+    /// (`PipelineModel::input_capacity` with `Overload::Shed`) — the
+    /// virtual twin of the fabric's per-stage `shed` counter.
+    pub shed_msgs: u64,
+    /// Accumulated virtual time messages spent waiting for admission at
+    /// a full modeled input queue — the twin of the fabric's
+    /// `blocked_ns`.
+    pub blocked_wait: SimDuration,
+    /// Deepest modeled input-queue backlog observed at any replica; with
+    /// a bound configured this never exceeds `input_capacity + 1`.
+    pub max_input_depth: u64,
 }
 
 impl NetStats {

@@ -1,0 +1,73 @@
+//! Backpressure: drive a quickstart-sized deployment well past its
+//! capacity and watch the bounded stage queues absorb the overload —
+//! droppable consensus traffic is shed at the input bound, client
+//! admission blocks, queue depth stays flat, and the chain still commits
+//! and agrees.
+//!
+//! ```bash
+//! cargo run --release --example backpressure
+//! ```
+
+use rdb_consensus::config::ProtocolKind;
+use rdb_consensus::stage::Stage;
+use resilientdb::{DeploymentBuilder, QueuePolicy};
+use std::time::Duration;
+
+fn main() {
+    const INPUT_CAP: usize = 12;
+    println!(
+        "ResilientDB backpressure: PBFT 1x4, 16 clients against {INPUT_CAP}-deep input queues\n"
+    );
+
+    // 16 closed-loop clients against deliberately tiny input queues:
+    // offered load far above what admission lets through.
+    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(5)
+        .clients(16)
+        .records(5_000)
+        .verifier_threads(2)
+        .input_queue(QueuePolicy::shed(INPUT_CAP))
+        .duration(Duration::from_secs(1))
+        .run();
+
+    println!("throughput:        {:>10.0} txn/s", report.throughput_txn_s);
+    println!("completed batches: {:>10}", report.completed_batches);
+    println!("mean latency:      {:>10.2?}", report.avg_latency);
+
+    // The per-stage counters tell the overload story: shed = droppable
+    // messages dropped at a full queue, blocked = time producers spent
+    // parked on one (the backpressure reaching them), q = live backlog —
+    // which can never exceed the bound.
+    println!("\nper-stage pipeline counters (summed over the 4 replicas):");
+    for row in &report.stages.rows {
+        println!(
+            "  {:>7}: processed {:>7}  shed {:>6}  queued {:>4}  blocked {:>10.2?}",
+            row.stage.label(),
+            row.processed,
+            row.shed,
+            row.queue_depth,
+            row.blocked,
+        );
+    }
+    let input = report.stages.row(Stage::Input);
+    assert!(
+        input.queue_depth <= (INPUT_CAP * 4) as u64,
+        "input backlog exceeded the bound"
+    );
+    println!(
+        "\ninput stage absorbed the flood: {} shed, {:.2?} of admission blocking, \
+         final backlog {} (never exceeds the {} bound)",
+        input.shed,
+        input.blocked,
+        input.queue_depth,
+        INPUT_CAP * 4
+    );
+
+    // Overload must never cost agreement: shed traffic is recovered by
+    // protocol retransmission, so every replica commits the same chain.
+    let common = report.audit_ledgers().expect("ledgers agree");
+    report
+        .audit_execution_stage()
+        .expect("execution stage matches ledger heads");
+    println!("all replicas agree on {common} committed blocks — overload shed work, not safety");
+}

@@ -92,6 +92,80 @@ fn simnet_and_fabric_commit_identical_ledgers() {
 }
 
 #[test]
+fn saturated_bounded_queues_commit_identical_ledgers() {
+    // The same single-client deployment, but with the smallest sane
+    // queue bounds on the fabric side (a consensus burst of a 4-replica
+    // PBFT round can fill a 6-deep inbox, so the blocking machinery is
+    // genuinely exercised on every queue) and the mirrored modeled bound
+    // on the simnet side. Block policies are lossless, so backpressure
+    // may change *timing* — never *content*: the committed chains must
+    // stay byte-identical over the common prefix. (The lossy Shed path
+    // is exercised under multi-client flood in `tests/backpressure.rs`,
+    // where content equality is checked across replicas instead.)
+    use rdb_simnet::{Overload, PipelineModel};
+    use resilientdb::QueuePolicy;
+
+    let sim = {
+        let mut s = rdb_simnet::Scenario::paper(ProtocolKind::Pbft, 1, 4).quick();
+        s.cfg.exec_mode = ExecMode::Real;
+        s.cfg.batch_size = BATCH;
+        s.real_exec_records = RECORDS;
+        s.track_ledgers = true;
+        s.seed = SEED;
+        s.logical_clients = BATCH;
+        s.ycsb = rdb_workload::ycsb::YcsbConfig {
+            record_count: RECORDS,
+            batch_size: BATCH,
+            ..rdb_workload::ycsb::YcsbConfig::default()
+        };
+        // A 6-deep modeled bound; Block keeps the modeled schedule
+        // identical while making the queueing observable.
+        s.compute.pipeline = PipelineModel::with_verifiers(2).with_input_queue(6, Overload::Block);
+        let (metrics, ledgers) = s.run_full();
+        assert!(metrics.completed_batches > 0, "simnet made no progress");
+        ledgers
+            .expect("ledgers tracked")
+            .remove(&ReplicaId::new(0, 0))
+            .expect("observer replica ledger")
+    };
+
+    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(BATCH)
+        .clients(1)
+        .records(RECORDS)
+        .seed(SEED)
+        // One PBFT instance keeps ~n² + n ≈ 20 messages in flight; these
+        // bounds bite (single queues fill) while the sum along any
+        // replica-to-replica blocking cycle (work + output + inbox, both
+        // directions ≈ 44) stays above it, so lossless Block can never
+        // wedge the deployment.
+        .input_queue(QueuePolicy::block(6))
+        .order_queue(QueuePolicy::block(8))
+        .exec_queue(QueuePolicy::block(2))
+        .output_queue(QueuePolicy::block(8))
+        .duration(Duration::from_millis(1_200))
+        .run();
+    assert!(report.completed_batches > 0, "{}", report.summary());
+    let common = report.audit_ledgers().expect("fabric ledgers consistent");
+    report
+        .audit_execution_stage()
+        .expect("materialized tables match ledger heads");
+    let fabric = &report.ledgers[&ReplicaId::new(0, 0)];
+
+    let prefix = common.min(sim.head_height());
+    assert!(
+        prefix >= 3,
+        "need a non-trivial common prefix under saturation (fabric {common}, simnet {})",
+        sim.head_height()
+    );
+    for h in 1..=prefix {
+        let a = sim.block(h).expect("simnet block");
+        let b = fabric.block(h).expect("fabric block");
+        assert_eq!(a.hash(), b.hash(), "block hash divergence at height {h}");
+    }
+}
+
+#[test]
 fn staged_pipeline_reports_stage_flow() {
     use rdb_consensus::stage::Stage;
     let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)

@@ -1,8 +1,14 @@
 //! Offline stand-in for `crossbeam`: provides `crossbeam::channel` with the
-//! unbounded MPMC channel API the workspace uses (`unbounded`, cloneable
-//! `Sender`/`Receiver`, `recv`/`recv_timeout`/`try_recv`, disconnect
-//! detection). Built on a `Mutex<VecDeque>` + `Condvar`; throughput is below
-//! real crossbeam but semantics match.
+//! MPMC channel API the workspace uses (`unbounded`, `bounded`, cloneable
+//! `Sender`/`Receiver`, `send`/`try_send`, `recv`/`recv_timeout`/`try_recv`,
+//! `len`, disconnect detection). Built on a `Mutex<VecDeque>` + two
+//! `Condvar`s (one for waiting receivers, one for senders blocked on a full
+//! bounded channel); throughput is below real crossbeam but semantics match.
+//!
+//! Deliberate deviation from real crossbeam: `bounded(0)` (a rendezvous
+//! channel) is not supported and panics — the workspace's backpressure
+//! queues always have capacity ≥ 1, and rendezvous semantics would
+//! complicate the stand-in for no user.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -12,13 +18,25 @@ pub mod channel {
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
+        /// Signalled when an item is pushed or the last sender leaves.
         cv: Condvar,
+        /// Signalled when an item is popped or the last receiver leaves
+        /// (only senders on a full bounded channel wait here).
+        cv_room: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
+        /// `None` = unbounded; `Some(c)` = at most `c` queued items.
+        capacity: Option<usize>,
         senders: usize,
         receivers: usize,
+    }
+
+    impl<T> State<T> {
+        fn is_full(&self) -> bool {
+            self.capacity.is_some_and(|c| self.items.len() >= c)
+        }
     }
 
     /// Error returned by `Sender::send` when all receivers are gone.
@@ -33,6 +51,41 @@ pub mod channel {
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by `Sender::try_send`.
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity; the value is returned.
+        Full(T),
+        /// All receivers are gone; the value is returned.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
         }
     }
 
@@ -59,15 +112,16 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
+                capacity,
                 senders: 1,
                 receivers: 1,
             }),
             cv: Condvar::new(),
+            cv_room: Condvar::new(),
         });
         (
             Sender {
@@ -77,16 +131,70 @@ pub mod channel {
         )
     }
 
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` items; `send`
+    /// blocks while full, `try_send` returns [`TrySendError::Full`].
+    /// Unlike real crossbeam, `cap` must be ≥ 1 (no rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded(0) rendezvous channels are not supported");
+        with_capacity(Some(cap))
+    }
+
     impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if !state.is_full() {
+                    state.items.push_back(value);
+                    drop(state);
+                    self.shared.cv.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .cv_room
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+        /// waiting when a bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if state.receivers == 0 {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.is_full() {
+                return Err(TrySendError::Full(value));
             }
             state.items.push_back(value);
             drop(state);
             self.shared.cv.notify_one();
             Ok(())
+        }
+
+        /// Items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -120,6 +228,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.cv_room.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -138,6 +248,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.cv_room.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -161,12 +273,29 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.cv_room.notify_one();
                 Ok(item)
             } else if state.senders == 0 {
                 Err(TryRecvError::Disconnected)
             } else {
                 Err(TryRecvError::Empty)
             }
+        }
+
+        /// Items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Blocking iterator until all senders disconnect.
@@ -195,11 +324,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .receivers -= 1;
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            let none_left = state.receivers == 0;
+            drop(state);
+            if none_left {
+                // Senders blocked on a full bounded channel must fail out.
+                self.shared.cv_room.notify_all();
+            }
         }
     }
 
@@ -223,5 +355,66 @@ pub mod channel {
         fn next(&mut self) -> Option<T> {
             self.receiver.try_recv().ok()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        // A pop makes room again.
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1); // frees the slot
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn blocked_sender_fails_when_receiver_drops() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn try_send_on_disconnected_returns_value() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        match tx.try_send(9) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 9),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_never_full() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..10_000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10_000);
     }
 }
