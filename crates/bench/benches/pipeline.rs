@@ -14,6 +14,10 @@
 //! * `pipeline-fabric-batch` — the original fabric macro-benchmark (E8):
 //!   wall-clock throughput across batch sizes, the fabric-level analogue
 //!   of Figure 13's batching sweep.
+//! * `pipeline-checkpoint` — the checkpoint stage off / on / with
+//!   snapshot retention: the cost of certified garbage collection, which
+//!   runs off the critical path (live fingerprinting in the executor and
+//!   the periodic table clone are the only on-path additions).
 //! * `pipeline-overload` / `pipeline-simnet-overload` — offered load far
 //!   above capacity at verifier fan-out 1/2/4, with deliberately tiny
 //!   bounded input queues. The point is the *shape* of the degradation:
@@ -297,6 +301,54 @@ fn bench_simnet_overload(c: &mut Criterion) {
     g.finish();
 }
 
+/// Checkpointing cost on the fabric: the same closed-loop deployment
+/// with the checkpoint stage off, on, and on-with-snapshots. The stage
+/// runs off the critical path, so throughput should degrade only by the
+/// executor's live fingerprinting plus (with snapshots) the periodic
+/// table clone — while exec-to-stable lag stays bounded and the ledger
+/// prefix is actually compacted (printed per iteration).
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline-checkpoint");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(12));
+    for (label, interval, snapshots) in [
+        ("off", 0u64, false),
+        ("on", 8, false),
+        ("snapshots", 8, true),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+                    .batch_size(10)
+                    .clients(4)
+                    .records(1_000)
+                    .checkpoint_interval(interval)
+                    .checkpoint_snapshots(snapshots)
+                    .duration(Duration::from_millis(300))
+                    .run();
+                let stable = report
+                    .checkpoints
+                    .values()
+                    .map(|ckpt| ckpt.stable_height)
+                    .max()
+                    .unwrap_or(0);
+                let retained = report
+                    .ledgers
+                    .values()
+                    .map(|l| l.len())
+                    .max()
+                    .unwrap_or(0);
+                eprintln!(
+                    "    {label}: {} txns, max stable height {stable}, max retained blocks {retained}",
+                    report.completed_txns
+                );
+                black_box(report.completed_txns)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_fabric_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline-fabric-batch");
     g.sample_size(10);
@@ -325,6 +377,7 @@ criterion_group!(
     bench_fabric_occupancy,
     bench_overload,
     bench_simnet_overload,
+    bench_checkpoint,
     bench_fabric_batch
 );
 criterion_main!(benches);

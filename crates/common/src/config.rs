@@ -112,6 +112,20 @@ impl SystemConfig {
         self.clusters * self.replicas_per_cluster
     }
 
+    /// `F`, the failures tolerated when all `z * n` replicas form one
+    /// group: the largest `F` with `z·n > 3F` (Remark 2.1 — the
+    /// single-log protocols, and the pipeline checkpoint quorum).
+    #[inline]
+    pub fn global_f(&self) -> usize {
+        (self.total_replicas() - 1) / 3
+    }
+
+    /// The strong quorum `z·n - F` over the whole deployment.
+    #[inline]
+    pub fn global_quorum(&self) -> usize {
+        self.total_replicas() - self.global_f()
+    }
+
     /// Region of a cluster.
     #[inline]
     pub fn region_of(&self, cluster: ClusterId) -> Region {

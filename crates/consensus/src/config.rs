@@ -127,12 +127,12 @@ impl ProtocolConfig {
     /// (Remark 2.1: these protocols tolerate more total failures than
     /// GeoBFT/Steward but are not topology-aware).
     pub fn global_f(&self) -> usize {
-        (self.global_n() - 1) / 3
+        self.system.global_f()
     }
 
     /// Strong quorum of the single-log protocols: `N - F`.
     pub fn global_quorum(&self) -> usize {
-        self.global_n() - self.global_f()
+        self.system.global_quorum()
     }
 
     /// GeoBFT inter-cluster sharing fanout (Figure 5: `f + 1`).

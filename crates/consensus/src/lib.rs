@@ -22,6 +22,7 @@
 
 pub mod api;
 pub mod certificate;
+pub mod checkpoint;
 pub mod clients;
 pub mod config;
 pub mod crypto_ctx;
@@ -43,6 +44,7 @@ pub(crate) mod testkit;
 
 pub use api::{Action, ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
 pub use certificate::{CommitCertificate, CommitSig};
+pub use checkpoint::{CheckpointTracker, StableCheckpoint};
 pub use config::{ExecMode, ProtocolConfig, ProtocolKind};
 pub use crypto_ctx::CryptoCtx;
 pub use messages::{Message, Scope};

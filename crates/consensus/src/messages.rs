@@ -431,7 +431,7 @@ impl Message {
     /// them under overload is exactly the load-shedding the paper's fabric
     /// relies on to avoid queue collapse.
     ///
-    /// The single exception is [`Message::Request`]: the client's original
+    /// Two exceptions exist. [`Message::Request`]: the client's original
     /// submission is the *admission edge* of the system. Shedding it would
     /// silently burn a full client retry timeout while the replica stays
     /// overloaded; blocking the submitting client instead is what
@@ -439,8 +439,25 @@ impl Message {
     /// its clients rather than growing queues). Requests therefore always
     /// block on a full input queue, regardless of the stage's configured
     /// overload policy.
+    ///
+    /// And *pipeline-stage* checkpoint votes
+    /// ([`crate::checkpoint::PIPELINE_CHECKPOINT_SCOPE`]): checkpoints
+    /// are not retransmittable state — no timer re-drives them, so a shed
+    /// vote could delay stability (and the garbage collection it gates)
+    /// indefinitely. Their sender, the checkpoint stage, never *parks* on
+    /// a peer's full inbox either (it holds the vote and retries), so the
+    /// non-droppable classification cannot create a cross-replica
+    /// blocking cycle. Consensus-engine checkpoints (`Global` /
+    /// `Cluster(c)` scopes) stay droppable: the engines tolerate losing
+    /// them (stability merely lags).
     pub fn droppable(&self) -> bool {
-        !matches!(self, Message::Request(_))
+        match self {
+            Message::Request(_) => false,
+            Message::Checkpoint { scope, .. } => {
+                *scope != crate::checkpoint::PIPELINE_CHECKPOINT_SCOPE
+            }
+            _ => true,
+        }
     }
 }
 
@@ -473,10 +490,24 @@ mod tests {
     }
 
     #[test]
-    fn only_client_requests_are_undroppable() {
-        // The admission edge blocks; everything else is lossy-by-design
-        // (recovered by client retry or protocol timers).
+    fn only_requests_and_pipeline_checkpoints_are_undroppable() {
+        // The admission edge and non-retransmittable checkpoint votes
+        // block; everything else is lossy-by-design (recovered by client
+        // retry or protocol timers).
         assert!(!Message::Request(batch(1)).droppable());
+        assert!(!crate::checkpoint::pipeline_vote(1, Digest::ZERO).droppable());
+        assert!(Message::Checkpoint {
+            scope: Scope::Global,
+            seq: 1,
+            state: Digest::ZERO,
+        }
+        .droppable());
+        assert!(Message::Checkpoint {
+            scope: Scope::Cluster(ClusterId(0)),
+            seq: 1,
+            state: Digest::ZERO,
+        }
+        .droppable());
         assert!(Message::Forward(batch(1)).droppable());
         assert!(Message::PrePrepare {
             scope: Scope::Global,

@@ -21,6 +21,7 @@
 
 use crate::api::{Outbox, TimerKind};
 use crate::certificate::{commit_payload, CommitSig};
+use crate::checkpoint::CheckpointTracker;
 use crate::config::ProtocolConfig;
 use crate::crypto_ctx::CryptoCtx;
 use crate::messages::{Message, PreparedProof, Scope};
@@ -109,8 +110,9 @@ pub struct PbftCore {
     vc_target: u64,
 
     insts: BTreeMap<u64, Instance>,
-    /// Last stable checkpoint; sequence numbers <= stable_seq are pruned.
-    stable_seq: u64,
+    /// Checkpoint certification (quorum tracking and the stable
+    /// watermark); sequence numbers <= its stable seq are pruned.
+    ckpt: CheckpointTracker,
     /// Primary: next sequence number to assign.
     next_propose: u64,
     /// Primary: queued client batches awaiting proposal.
@@ -121,11 +123,6 @@ pub struct PbftCore {
     /// Backup: requests we forwarded to the primary and still await, by
     /// digest. Non-empty => progress timer armed.
     awaiting: HashMap<Digest, SignedBatch>,
-
-    /// Checkpoint votes: seq -> digest -> voters.
-    ckpt_votes: BTreeMap<u64, HashMap<Digest, HashSet<ReplicaId>>>,
-    /// Own checkpoint digests (to answer validity).
-    own_ckpts: BTreeMap<u64, Digest>,
 
     /// View-change votes: target view -> voter -> vote.
     vc_votes: BTreeMap<u64, HashMap<ReplicaId, VcVote>>,
@@ -147,6 +144,7 @@ impl PbftCore {
         };
         debug_assert!(members.contains(&id));
         let timeout = cfg.progress_timeout;
+        let ckpt = CheckpointTracker::new(cfg.checkpoint_interval, n - f);
         PbftCore {
             scope,
             cfg,
@@ -159,13 +157,11 @@ impl PbftCore {
             in_view_change: false,
             vc_target: 0,
             insts: BTreeMap::new(),
-            stable_seq: 0,
+            ckpt,
             next_propose: 1,
             pending: VecDeque::new(),
             proposed: HashSet::new(),
             awaiting: HashMap::new(),
-            ckpt_votes: BTreeMap::new(),
-            own_ckpts: BTreeMap::new(),
             vc_votes: BTreeMap::new(),
             timer_armed: false,
             current_timeout: timeout,
@@ -189,7 +185,7 @@ impl PbftCore {
 
     /// Last stable checkpoint sequence.
     pub fn stable_seq(&self) -> u64 {
-        self.stable_seq
+        self.ckpt.stable_seq()
     }
 
     /// The primary of view `v` within this scope's member list.
@@ -294,7 +290,7 @@ impl PbftCore {
         if !self.is_primary() || self.in_view_change {
             return;
         }
-        let high_water = self.stable_seq + self.cfg.window;
+        let high_water = self.stable_seq() + self.cfg.window;
         while self.next_propose <= high_water {
             let Some(sb) = self.pending.pop_front() else {
                 break;
@@ -336,7 +332,7 @@ impl PbftCore {
         if from != self.primary_of(view) {
             return vec![];
         }
-        if seq <= self.stable_seq || seq > self.stable_seq + self.cfg.window {
+        if seq <= self.stable_seq() || seq > self.stable_seq() + self.cfg.window {
             return vec![];
         }
         if batch.digest() != digest || !self.crypto.verify_batch(&batch) {
@@ -386,7 +382,7 @@ impl PbftCore {
         if !self.scope_matches(scope) || view != self.view || self.in_view_change {
             return vec![];
         }
-        if !self.is_member(from) || seq <= self.stable_seq {
+        if !self.is_member(from) || seq <= self.stable_seq() {
             return vec![];
         }
         self.inst(seq)
@@ -410,7 +406,7 @@ impl PbftCore {
         sig: Signature,
         out: &mut Outbox,
     ) -> Vec<CoreEvent> {
-        if !self.scope_matches(scope) || !self.is_member(from) || seq <= self.stable_seq {
+        if !self.scope_matches(scope) || !self.is_member(from) || seq <= self.stable_seq() {
             return vec![];
         }
         // Commits are accepted across views: the signature binds only
@@ -502,10 +498,9 @@ impl PbftCore {
     /// The embedder executed up to `seq` and took a state snapshot; gossip
     /// it so the group can establish a stable checkpoint (and prune).
     pub fn record_checkpoint(&mut self, seq: u64, state: Digest, out: &mut Outbox) {
-        if seq <= self.stable_seq {
+        if !self.ckpt.record_own(seq, state) {
             return;
         }
-        self.own_ckpts.insert(seq, state);
         let msg = Message::Checkpoint {
             scope: self.scope,
             seq,
@@ -523,35 +518,33 @@ impl PbftCore {
         state: Digest,
         out: &mut Outbox,
     ) -> Vec<CoreEvent> {
-        if !self.scope_matches(scope) || !self.is_member(from) || seq <= self.stable_seq {
+        if !self.scope_matches(scope) || !self.is_member(from) {
             return vec![];
         }
-        let voters = self
-            .ckpt_votes
-            .entry(seq)
-            .or_default()
-            .entry(state)
-            .or_default();
-        voters.insert(from);
-        if voters.len() >= self.quorum() {
-            self.make_stable(seq);
+        if let Some(stable) = self.ckpt.on_vote(from, seq, state) {
+            self.prune_below(stable.seq);
             self.try_propose(out);
-            return vec![CoreEvent::CheckpointStable { seq }];
+            return vec![CoreEvent::CheckpointStable { seq: stable.seq }];
         }
         vec![]
     }
 
     fn make_stable(&mut self, seq: u64) {
-        if seq <= self.stable_seq {
+        if seq <= self.stable_seq() {
             return;
         }
-        self.stable_seq = seq;
+        // A stability learned through a new-view message carries no state
+        // digest of its own; the tracker only needs the watermark.
+        self.ckpt.force_stable(seq, Digest::ZERO);
+        self.prune_below(seq);
+    }
+
+    /// Drop consensus state the stable checkpoint `seq` covers.
+    fn prune_below(&mut self, seq: u64) {
         if self.next_propose <= seq {
             self.next_propose = seq + 1;
         }
         self.insts.retain(|s, _| *s > seq);
-        self.ckpt_votes.retain(|s, _| *s > seq);
-        self.own_ckpts.retain(|s, _| *s > seq);
     }
 
     // ------------------------------------------------------------------
@@ -631,7 +624,7 @@ impl PbftCore {
         let msg = Message::ViewChange {
             scope: self.scope,
             new_view: target,
-            stable_seq: self.stable_seq,
+            stable_seq: self.stable_seq(),
             prepared,
         };
         out.multicast(self.members.iter().copied(), &msg);
@@ -683,8 +676,8 @@ impl PbftCore {
             .values()
             .map(|v| v.stable_seq)
             .max()
-            .unwrap_or(self.stable_seq)
-            .max(self.stable_seq);
+            .unwrap_or_default()
+            .max(self.stable_seq());
 
         // Union of prepared instances above the stable point. PBFT safety
         // (Lemma 2.3) guarantees at most one digest per seq among correct
@@ -752,11 +745,11 @@ impl PbftCore {
         let mut events = vec![CoreEvent::ViewInstalled { view }];
 
         // Treat the re-proposals as fresh pre-prepares in the new view.
-        let mut max_seq = self.stable_seq;
+        let mut max_seq = self.stable_seq();
         for (seq, batch) in preprepares {
             max_seq = max_seq.max(seq);
             let digest = batch.digest();
-            if seq <= self.stable_seq {
+            if seq <= self.stable_seq() {
                 continue;
             }
             let committed = {
@@ -801,7 +794,7 @@ impl PbftCore {
     pub fn is_committed(&self, seq: u64) -> bool {
         self.insts
             .get(&seq)
-            .map_or(seq <= self.stable_seq, |i| i.committed)
+            .map_or(seq <= self.stable_seq(), |i| i.committed)
     }
 
     /// This replica's identity.
@@ -865,7 +858,7 @@ impl std::fmt::Debug for PbftCore {
             .field("scope", &self.scope)
             .field("id", &self.id)
             .field("view", &self.view)
-            .field("stable_seq", &self.stable_seq)
+            .field("stable_seq", &self.stable_seq())
             .field("in_view_change", &self.in_view_change)
             .finish()
     }

@@ -36,7 +36,8 @@ use rdb_common::config::SystemConfig;
 use rdb_common::ids::NodeId;
 use rdb_crypto::sign::{PublicKey, Signature};
 
-/// One stage of the replica pipeline (paper Figure 9).
+/// One stage of the replica pipeline (paper Figure 9, plus the
+/// checkpoint stage that garbage-collects stable state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// Transport receive: envelopes enter the pipeline.
@@ -47,17 +48,24 @@ pub enum Stage {
     Order,
     /// Applying decisions to the store and the ledger.
     Execute,
+    /// Certifying executed state against peers and compacting the
+    /// stable ledger prefix, off the execute stage (§2.2 checkpoints).
+    Checkpoint,
     /// Draining outgoing messages to the transport.
     Output,
 }
 
 impl Stage {
+    /// Number of stages (sizes per-stage counter arrays).
+    pub const COUNT: usize = 6;
+
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; Stage::COUNT] = [
         Stage::Input,
         Stage::Verify,
         Stage::Order,
         Stage::Execute,
+        Stage::Checkpoint,
         Stage::Output,
     ];
 
@@ -68,7 +76,8 @@ impl Stage {
             Stage::Verify => 1,
             Stage::Order => 2,
             Stage::Execute => 3,
-            Stage::Output => 4,
+            Stage::Checkpoint => 4,
+            Stage::Output => 5,
         }
     }
 
@@ -79,6 +88,7 @@ impl Stage {
             Stage::Verify => "verify",
             Stage::Order => "order",
             Stage::Execute => "execute",
+            Stage::Checkpoint => "checkpoint",
             Stage::Output => "output",
         }
     }

@@ -2,7 +2,7 @@
 
 use crate::metrics::{Metrics, StageSnapshot};
 use crate::node::{ClientRuntime, ReplicaRuntime};
-use crate::pipeline::{PipelineConfig, VerifyCtx};
+use crate::pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 use crate::queue::{QueuePolicy, StageQueues};
 use crate::transport::{DelayFn, InProcTransport};
 use rdb_common::config::SystemConfig;
@@ -38,7 +38,9 @@ pub struct DeploymentBuilder {
     input_queue: Option<QueuePolicy>,
     work_queue: Option<QueuePolicy>,
     exec_queue: Option<QueuePolicy>,
+    checkpoint_queue: Option<QueuePolicy>,
     output_queue: Option<QueuePolicy>,
+    checkpoint: CheckpointConfig,
 }
 
 impl DeploymentBuilder {
@@ -63,8 +65,45 @@ impl DeploymentBuilder {
             input_queue: None,
             work_queue: None,
             exec_queue: None,
+            checkpoint_queue: None,
             output_queue: None,
+            checkpoint: CheckpointConfig::default(),
         }
+    }
+
+    /// Enable the checkpoint stage: certify the execution stage's table
+    /// digest against peers and compact the ledger prefix every `k`
+    /// decisions (`0`, the default, disables the stage — ledgers stay
+    /// full, matching pre-checkpoint reproductions byte for byte).
+    pub fn checkpoint_interval(mut self, k: u64) -> Self {
+        self.checkpoint.interval = k;
+        self
+    }
+
+    /// Retain a full store snapshot of the last stable checkpoint on
+    /// every replica (the state a restarting replica recovers from; see
+    /// `rdb_ledger::recover_from_checkpoint`). Costs one table clone per
+    /// checkpoint.
+    pub fn checkpoint_snapshots(mut self, retain: bool) -> Self {
+        self.checkpoint.retain_snapshot = retain;
+        self
+    }
+
+    /// Fault injection: slow every checkpoint snapshot by `d` inside the
+    /// checkpoint thread. With the Block-policy checkpoint queue this
+    /// throttles execution — the designed overload behavior the
+    /// backpressure tests assert.
+    pub fn checkpoint_fault_delay(mut self, d: Duration) -> Self {
+        self.checkpoint.fault_delay = d;
+        self
+    }
+
+    /// Override the execute → checkpoint queue (Block by default —
+    /// checkpoints are not retransmittable and must never shed; the
+    /// bound is what throttles execution when checkpointing lags).
+    pub fn checkpoint_queue(mut self, p: QueuePolicy) -> Self {
+        self.checkpoint_queue = Some(p);
+        self
     }
 
     /// Verifier-stage fan-out per replica (paper Figure 9). Unset, the
@@ -176,10 +215,14 @@ impl DeploymentBuilder {
         if let Some(p) = self.exec_queue {
             queues.exec = p;
         }
+        if let Some(p) = self.checkpoint_queue {
+            queues.checkpoint = p;
+        }
         if let Some(p) = self.output_queue {
             queues.output = p;
         }
         self.pipeline.queues = queues;
+        self.pipeline.checkpoint = self.checkpoint;
 
         let system = SystemConfig::geo(self.z, self.n).expect("valid system");
         let mut cfg = ProtocolConfig::new(system.clone());
@@ -268,12 +311,16 @@ impl DeploymentBuilder {
         }
         let mut ledgers = HashMap::new();
         let mut exec_state_digests = HashMap::new();
+        let mut checkpoints = HashMap::new();
         for r in replicas {
             let node = r.node();
-            let (ledger, exec_digest) = r.stop();
+            let stopped = r.stop_full();
             if let NodeId::Replica(rid) = node {
-                ledgers.insert(rid, ledger);
-                exec_state_digests.insert(rid, exec_digest);
+                ledgers.insert(rid, stopped.ledger);
+                exec_state_digests.insert(rid, stopped.exec_digest);
+                if let Some(ckpt) = stopped.checkpoint {
+                    checkpoints.insert(rid, ckpt);
+                }
             }
         }
         for t in crash_threads {
@@ -298,6 +345,7 @@ impl DeploymentBuilder {
             p99_latency: metrics.latency_percentile(0.99),
             ledgers,
             exec_state_digests,
+            checkpoints,
             crashed: self.crash_after.iter().map(|(r, _)| *r).collect(),
         }
     }
@@ -339,6 +387,11 @@ pub struct DeploymentReport {
     /// state machine executed the same decisions against an identically
     /// preloaded store); see [`DeploymentReport::audit_execution_stage`].
     pub exec_state_digests: HashMap<ReplicaId, rdb_crypto::digest::Digest>,
+    /// Per-replica checkpoint stage state (empty unless
+    /// [`DeploymentBuilder::checkpoint_interval`] enabled the stage):
+    /// stable height, certified checkpoint history and, when retained,
+    /// the recovery snapshot.
+    pub checkpoints: HashMap<ReplicaId, CheckpointReport>,
     /// Replicas crashed during the run.
     pub crashed: Vec<ReplicaId>,
 }
@@ -392,9 +445,16 @@ impl DeploymentReport {
             .unwrap_or(0)
     }
 
-    /// Check that all (non-crashed) replica ledgers agree on their common
-    /// prefix and are internally consistent. Returns the verified common
-    /// height.
+    /// Check that all (non-crashed) replica ledgers agree and are
+    /// internally consistent. Returns the common prefix height. With the
+    /// checkpoint stage active, ledgers are compacted behind their
+    /// recovery anchors; agreement is then checked *pairwise* over every
+    /// height both replicas of a pair still retain — the maximal
+    /// comparable evidence (a global lower bound would silently compare
+    /// nothing whenever one laggard's head sits below another's anchor).
+    /// A pair with no retained overlap at all has no comparable blocks
+    /// left; its agreement rests on the quorum certification that gated
+    /// the compaction.
     pub fn audit_ledgers(&self) -> Result<u64, String> {
         let live: Vec<(&ReplicaId, &Ledger)> = self
             .ledgers
@@ -406,21 +466,48 @@ impl DeploymentReport {
                 .verify(None)
                 .map_err(|e| format!("replica {rid} ledger invalid: {e}"))?;
         }
-        let common = self.common_prefix_blocks();
-        if let Some((first_id, first)) = live.first() {
-            for (rid, ledger) in &live[1..] {
-                for h in 1..=common {
-                    let a = first.block(h).expect("within prefix");
-                    let b = ledger.block(h).expect("within prefix");
-                    if a.hash() != b.hash() {
-                        return Err(format!(
-                            "divergence at height {h} between {first_id} and {rid}"
-                        ));
+        let uncompacted = live.iter().all(|(_, l)| l.base_height() == 0);
+        if uncompacted {
+            // Fast path (the default, checkpointing off): everyone
+            // shares height 1 up, so first-vs-rest agreement is
+            // transitive and costs O(replicas · height).
+            if let Some((first_id, first)) = live.first() {
+                for (rid, ledger) in &live[1..] {
+                    let to = first.head_height().min(ledger.head_height());
+                    for h in 1..=to {
+                        let a = first.block(h).expect("within prefix");
+                        let b = ledger.block(h).expect("within prefix");
+                        if a.hash() != b.hash() {
+                            return Err(format!(
+                                "divergence at height {h} between {first_id} and {rid}"
+                            ));
+                        }
+                    }
+                }
+            }
+        } else {
+            // Compacted ledgers retain different windows; compare every
+            // pair over its own overlap (transitivity through one
+            // reference would skip pairs whose overlap the reference
+            // pruned). Quadratic in replicas, but only on the
+            // checkpointed audit path.
+            for (i, (a_id, a)) in live.iter().enumerate() {
+                for (b_id, b) in &live[i + 1..] {
+                    let from = a.base_height().max(b.base_height()).max(1);
+                    let to = a.head_height().min(b.head_height());
+                    for h in from..=to {
+                        let ab = a.block(h).expect("within retained overlap");
+                        let bb = b.block(h).expect("within retained overlap");
+                        if ab.hash() != bb.hash() {
+                            return Err(format!(
+                                "divergence at height {h} between {a_id} and {b_id}"
+                            ));
+                        }
                     }
                 }
             }
         }
-        Ok(common)
+        Ok(self.common_prefix_blocks())
     }
 
     /// One-line summary.

@@ -34,6 +34,14 @@
 //! * the **execution thread** applies finalized decisions to the
 //!   replica's `rdb-store` table and appends them to the `rdb-ledger`
 //!   chain, off the consensus critical path (Figure 9 "execute");
+//! * the **checkpoint thread** (when enabled via
+//!   [`pipeline::CheckpointConfig`] /
+//!   [`deployment::DeploymentBuilder::checkpoint_interval`]) certifies
+//!   the execution stage's table digest against peers every interval of
+//!   decisions and compacts the stable ledger prefix behind a recovery
+//!   anchor (§2.2 checkpoints as their own pipeline stage). Its queue is
+//!   Block-policy by design: a backlogged checkpoint stage throttles
+//!   execution, bounding exec-to-stable lag — see [`queue`];
 //! * the **output thread** drains outgoing messages to the transport, so
 //!   network pressure never stalls consensus processing (Figure 9
 //!   "output").
@@ -74,7 +82,7 @@ pub mod transport;
 
 pub use deployment::{DeploymentBuilder, DeploymentReport};
 pub use metrics::{Metrics, StageRow, StageSnapshot};
-pub use node::{ClientRuntime, ReplicaRuntime};
-pub use pipeline::{PipelineConfig, VerifyCtx};
+pub use node::{ClientRuntime, ReplicaRuntime, ReplicaStopReport};
+pub use pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 pub use queue::{Overload, QueuePolicy, StageQueues};
 pub use transport::{Envelope, InProcTransport, TransportHandle, TransportSender};

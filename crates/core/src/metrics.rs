@@ -37,7 +37,7 @@ struct StageCell {
     blocked_ns: AtomicU64,
 }
 
-struct StageTable([StageCell; 5]);
+struct StageTable([StageCell; Stage::COUNT]);
 
 impl Default for StageTable {
     fn default() -> Self {

@@ -8,10 +8,14 @@
 //! policies) and metered by per-stage counters in [`Metrics`].
 
 use crate::metrics::Metrics;
-use crate::pipeline::{spawn_executor, spawn_verifiers, PipelineConfig, VerifyCtx};
+use crate::pipeline::{
+    spawn_checkpointer, spawn_executor, spawn_verifiers, CheckpointMsg, CheckpointReport,
+    PipelineConfig, VerifyCtx,
+};
 use crate::queue::{send_with_policy, StageQueues};
 use crate::transport::TransportHandle;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use rdb_common::ids::NodeId;
 use rdb_common::time::SimTime;
 use rdb_consensus::api::{Action, ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
@@ -140,25 +144,43 @@ impl TimerWheel {
     }
 }
 
-/// A running replica: the staged pipeline of paper Figure 9.
+/// A running replica: the staged pipeline of paper Figure 9, plus the
+/// checkpoint stage off execution (§2.2 checkpoints).
 ///
 /// ```text
 /// transport ─▶ inbox ─▶ [verify ×N] ─▶ worker ─▶ execute ─▶ ledger
-///   (input)                              │
+///   (input)       │                      │           │
+///                 │ (ckpt votes)         │           ▼
+///                 └──────────▶ checkpoint ◀── snapshot jobs
+///                                        │
 ///                                        └────▶ output ─▶ transport
 /// ```
 ///
 /// The transport's delivery into the node's inbox *is* the input stage
 /// (in-process there is no socket to drain, so a dedicated forwarding
 /// thread would only add a hand-off); the verifier pool consumes the
-/// inbox directly.
+/// inbox directly. The checkpoint thread exists only when
+/// [`crate::pipeline::CheckpointConfig::interval`] is nonzero.
 pub struct ReplicaRuntime {
     node: NodeId,
     shutdown: Arc<AtomicBool>,
     verifier_handles: Vec<JoinHandle<()>>,
     worker_handle: JoinHandle<()>,
-    exec_handle: JoinHandle<(Ledger, rdb_crypto::digest::Digest)>,
+    exec_handle: JoinHandle<rdb_crypto::digest::Digest>,
+    checkpoint_handle: Option<JoinHandle<CheckpointReport>>,
     output_handle: JoinHandle<()>,
+    ledger: Arc<Mutex<Ledger>>,
+}
+
+/// Everything a stopped replica hands back.
+pub struct ReplicaStopReport {
+    /// The replica's ledger (compacted behind its recovery anchor when
+    /// the checkpoint stage ran).
+    pub ledger: Ledger,
+    /// State digest of the execution stage's materialized table.
+    pub exec_digest: rdb_crypto::digest::Digest,
+    /// The checkpoint stage's final state (None when disabled).
+    pub checkpoint: Option<CheckpointReport>,
 }
 
 impl ReplicaRuntime {
@@ -198,6 +220,33 @@ impl ReplicaRuntime {
         // peer parked in a blocking delivery to this replica.
         let (inbox, sender) = handle.split();
 
+        // The ledger is shared between its writer (the execution stage
+        // appends) and the checkpoint stage (compacts the stable prefix).
+        let ledger = Arc::new(Mutex::new(Ledger::new()));
+
+        // Checkpoint stage: snapshot jobs + peer votes -> quorum
+        // certification -> ledger compaction. Only spawned when enabled.
+        let system = verify.system.clone();
+        let exec_tracker = rdb_consensus::checkpoint::CheckpointTracker::new(
+            pipeline.checkpoint.interval,
+            system.global_quorum(),
+        );
+        let (ckpt_tx, checkpoint_handle) = if pipeline.checkpoint.enabled() {
+            let (ckpt_tx, ckpt_rx) = bounded::<CheckpointMsg>(queues.checkpoint.capacity.max(1));
+            let handle = spawn_checkpointer(
+                node,
+                system,
+                pipeline.checkpoint,
+                ckpt_rx,
+                sender.clone(),
+                Arc::clone(&ledger),
+                metrics.clone(),
+            );
+            (Some(ckpt_tx), Some(handle))
+        } else {
+            (None, None)
+        };
+
         // Input + verify stages: N parallel threads draining the transport
         // inbox with batched signature checks.
         let verifier_handles = spawn_verifiers(
@@ -206,12 +255,23 @@ impl ReplicaRuntime {
             verify,
             inbox,
             work_tx,
+            ckpt_tx.clone(),
             metrics.clone(),
             Arc::clone(&shutdown),
         );
 
         // Execute stage: decisions -> store + ledger, off the worker path.
-        let exec_handle = spawn_executor(node, exec_store, exec_rx, metrics.clone());
+        let exec_handle = spawn_executor(
+            node,
+            exec_store,
+            exec_rx,
+            Arc::clone(&ledger),
+            ckpt_tx,
+            exec_tracker,
+            pipeline.checkpoint,
+            queues.checkpoint,
+            metrics.clone(),
+        );
 
         // Output stage: output queue -> transport.
         let stop = Arc::clone(&shutdown);
@@ -298,7 +358,9 @@ impl ReplicaRuntime {
             verifier_handles,
             worker_handle,
             exec_handle,
+            checkpoint_handle,
             output_handle,
+            ledger,
         }
     }
 
@@ -311,14 +373,36 @@ impl ReplicaRuntime {
     /// execution stage's materialized-table state digest. The execution
     /// stage drains every decision the worker emitted before exiting.
     pub fn stop(self) -> (Ledger, rdb_crypto::digest::Digest) {
+        let report = self.stop_full();
+        (report.ledger, report.exec_digest)
+    }
+
+    /// Like [`ReplicaRuntime::stop`], additionally returning the
+    /// checkpoint stage's final state.
+    pub fn stop_full(self) -> ReplicaStopReport {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Join order follows sender ownership: verifiers (hold work_tx +
+        // ckpt_tx) first, then the worker (exec_tx), then the executor
+        // (ckpt_tx) — at which point the checkpoint queue disconnects and
+        // its never-parking thread drains out.
         for v in self.verifier_handles {
             v.join().expect("verifier thread");
         }
         self.worker_handle.join().expect("worker thread");
-        let result = self.exec_handle.join().expect("execution thread");
+        let exec_digest = self.exec_handle.join().expect("execution thread");
+        let checkpoint = self
+            .checkpoint_handle
+            .map(|h| h.join().expect("checkpoint thread"));
         self.output_handle.join().expect("output thread");
-        result
+        let Ok(ledger) = Arc::try_unwrap(self.ledger) else {
+            unreachable!("all ledger holders joined");
+        };
+        let ledger = ledger.into_inner();
+        ReplicaStopReport {
+            ledger,
+            exec_digest,
+            checkpoint,
+        }
     }
 }
 

@@ -1,20 +1,33 @@
-//! The verifier and execution stages of the replica pipeline (paper
-//! Figure 9).
+//! The verifier, execution and checkpoint stages of the replica pipeline
+//! (paper Figure 9, plus §2.2's checkpoints as their own stage).
 //!
 //! [`crate::node::ReplicaRuntime`] wires these into the full
-//! input → verify ×N → order → execute → output thread chain. The stages
-//! here are the ones that moved *off* the ordering worker in the staged
-//! refactor:
+//! input → verify ×N → order → execute → checkpoint/output thread chain.
+//! The stages here are the ones that moved *off* the ordering worker in
+//! the staged refactor:
 //!
 //! * **Verify** — a configurable pool of threads draining the raw envelope
 //!   queue in batches, running the pure [`VerifiedMessage::check`]
 //!   signature checks from `rdb-consensus`, and forwarding only valid
 //!   traffic to the worker (which runs on a
 //!   [`rdb_consensus::crypto_ctx::CryptoCtx::preverified`] context).
+//!   Pipeline-level checkpoint votes (reserved scope, see
+//!   [`rdb_consensus::checkpoint`]) are routed straight to the checkpoint
+//!   stage — the worker never sees them.
 //! * **Execute** — a single thread applying finalized [`Decision`]s to the
 //!   node's `rdb-store` table and appending them to the `rdb-ledger`
 //!   chain, so neither store writes nor ledger hashing sit on the
-//!   consensus critical path.
+//!   consensus critical path. Every
+//!   [`CheckpointConfig::interval`] decisions it snapshots the table
+//!   digest into the checkpoint queue.
+//! * **Checkpoint** — a dedicated thread that certifies the execution
+//!   stage's snapshots against peers (a
+//!   [`rdb_consensus::checkpoint::CheckpointTracker`] quorum over
+//!   non-droppable `Message::Checkpoint` votes) and, as checkpoints
+//!   become stable, compacts the ledger prefix behind a recovery anchor
+//!   (`Ledger::compact`). Its queue is Block-policy by design: a
+//!   backlogged checkpoint stage parks the executor and throttles the
+//!   replica, bounding exec-to-stable lag (see [`crate::queue`]).
 //!
 //! Every hand-off between stages runs over a *bounded* channel sized by
 //! [`PipelineConfig::queues`] (see [`crate::queue`] for the overload
@@ -23,20 +36,71 @@
 //! edge and ultimately to submitting clients.
 
 use crate::metrics::Metrics;
-use crate::queue::{send_with_policy, SendOutcome, StageQueues};
-use crate::transport::Envelope;
+use crate::queue::{send_with_policy, QueuePolicy, SendOutcome, StageQueues};
+use crate::transport::{Envelope, TransportSender};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use rdb_common::config::SystemConfig;
-use rdb_common::ids::NodeId;
+use rdb_common::ids::{NodeId, ReplicaId};
+use rdb_consensus::checkpoint::{self, CheckpointTracker, StableCheckpoint};
 use rdb_consensus::crypto_ctx::CryptoCtx;
+use rdb_consensus::messages::Message;
 use rdb_consensus::stage::{Stage, VerifiedMessage};
 use rdb_consensus::types::Decision;
+use rdb_crypto::digest::Digest;
 use rdb_ledger::Ledger;
 use rdb_store::KvStore;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The checkpoint stage's tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Decisions between checkpoints; `0` disables the stage entirely
+    /// (no snapshot jobs, no votes, no ledger compaction — the pre-PR
+    /// behavior, and the default: figure reproductions and equivalence
+    /// tests compare full ledgers unless they opt in).
+    pub interval: u64,
+    /// Keep a full [`KvStore`] clone of the last *stable* checkpoint —
+    /// the state a restarting replica recovers from
+    /// (`rdb_ledger::recover_from_checkpoint`). Costs one table copy per
+    /// checkpoint; recovery tests and snapshot-shipping deployments
+    /// enable it.
+    pub retain_snapshot: bool,
+    /// Fault injection for the test harness: sleep this long inside the
+    /// checkpoint thread per snapshot job, emulating slow snapshot I/O.
+    /// With a Block checkpoint queue this visibly throttles execution —
+    /// which is exactly the designed overload behavior under test.
+    pub fault_delay: Duration,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval: 0,
+            retain_snapshot: false,
+            fault_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Checkpoint every `interval` decisions.
+    pub fn every(interval: u64) -> CheckpointConfig {
+        CheckpointConfig {
+            interval,
+            ..CheckpointConfig::default()
+        }
+    }
+
+    /// Whether the checkpoint stage runs at all.
+    pub fn enabled(&self) -> bool {
+        self.interval > 0
+    }
+}
 
 /// Thread and queue layout of one replica's pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +115,8 @@ pub struct PipelineConfig {
     /// bounded — an overloaded replica sheds droppable traffic or blocks
     /// its producers instead of growing memory without bound.
     pub queues: StageQueues,
+    /// Checkpoint stage configuration (disabled by default).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +133,7 @@ impl Default for PipelineConfig {
             verifier_threads,
             verify_batch: 16,
             queues: StageQueues::derive(10, verifier_threads),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }
@@ -95,14 +162,44 @@ pub struct VerifyCtx {
     pub system: SystemConfig,
 }
 
+/// One item on the checkpoint stage's queue: the execute stage's local
+/// snapshot jobs and the peer votes the verifier pool routes here.
+#[derive(Debug)]
+pub(crate) enum CheckpointMsg {
+    /// The execute stage crossed an interval boundary: certify this
+    /// ledger height with the materialized table's digest.
+    Snapshot {
+        /// Ledger height the snapshot covers.
+        height: u64,
+        /// Digest of the materialized table at that height.
+        state: Digest,
+        /// A full table clone ([`CheckpointConfig::retain_snapshot`]).
+        snapshot: Option<KvStore>,
+    },
+    /// A verified pipeline-scope checkpoint vote from a peer.
+    Vote {
+        /// The voting replica.
+        from: ReplicaId,
+        /// Ledger height voted for.
+        height: u64,
+        /// State digest voted for.
+        state: Digest,
+    },
+}
+
 /// Spawn the verifier pool: `verify_rx` (the transport inbox — its
-/// delivery is the input stage) → checked → `work_tx`.
+/// delivery is the input stage) → checked → `work_tx` (pipeline-scope
+/// checkpoint votes go to `ckpt_tx` instead — the checkpoint stage, not
+/// the worker, counts them).
+// The parameters mirror the stage wiring one-to-one.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_verifiers(
     node: NodeId,
     cfg: PipelineConfig,
     verify: VerifyCtx,
     verify_rx: Receiver<Envelope>,
     work_tx: Sender<VerifiedMessage>,
+    ckpt_tx: Option<Sender<CheckpointMsg>>,
     metrics: Metrics,
     stop: Arc<AtomicBool>,
 ) -> Vec<JoinHandle<()>> {
@@ -111,11 +208,14 @@ pub(crate) fn spawn_verifiers(
             let verify = verify.clone();
             let rx = verify_rx.clone();
             let tx = work_tx.clone();
+            let ckpt_tx = ckpt_tx.clone();
             let metrics = metrics.clone();
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("{node}-verify{i}"))
-                .spawn(move || verifier_loop(&verify, &rx, &tx, &metrics, &stop, cfg))
+                .spawn(move || {
+                    verifier_loop(&verify, &rx, &tx, ckpt_tx.as_ref(), &metrics, &stop, cfg)
+                })
                 .expect("spawn verifier thread")
         })
         .collect()
@@ -125,6 +225,7 @@ fn verifier_loop(
     verify: &VerifyCtx,
     rx: &Receiver<Envelope>,
     tx: &Sender<VerifiedMessage>,
+    ckpt_tx: Option<&Sender<CheckpointMsg>>,
     metrics: &Metrics,
     stop: &AtomicBool,
     cfg: PipelineConfig,
@@ -151,6 +252,42 @@ fn verifier_loop(
                     match VerifiedMessage::check(&verify.system, &verify.crypto, env.from, env.msg)
                     {
                         Some(vm) => {
+                            // Pipeline-scope checkpoint votes feed the
+                            // checkpoint stage, never the worker. They
+                            // are non-droppable, so a full checkpoint
+                            // queue parks this verifier — safe, because
+                            // the checkpoint thread never parks and
+                            // always comes back to drain (crate::queue).
+                            if let (Some(ckpt_tx), Message::Checkpoint { seq, state, .. }) =
+                                (ckpt_tx, vm.message())
+                            {
+                                if checkpoint::is_pipeline_vote(vm.message()) {
+                                    let NodeId::Replica(from) = vm.from() else {
+                                        // Clients cannot vote: discarded
+                                        // here like any malformed traffic.
+                                        dropped += 1;
+                                        continue;
+                                    };
+                                    ok += 1;
+                                    let vote = CheckpointMsg::Vote {
+                                        from,
+                                        height: *seq,
+                                        state: *state,
+                                    };
+                                    if send_with_policy(
+                                        ckpt_tx,
+                                        vote,
+                                        cfg.queues.checkpoint,
+                                        false,
+                                        metrics,
+                                        Stage::Checkpoint,
+                                    ) == SendOutcome::Sent
+                                    {
+                                        metrics.stage_enqueued(Stage::Checkpoint);
+                                    }
+                                    continue;
+                                }
+                            }
                             ok += 1;
                             let droppable = vm.message().droppable();
                             // A full work queue parks this verifier
@@ -183,41 +320,292 @@ fn verifier_loop(
     }
 }
 
-/// Spawn the execution stage: `exec_rx` → store apply → ledger append.
-/// Runs until the worker drops its sender, so every decision emitted
-/// before shutdown is persisted. Returns the final [`Ledger`] plus the
-/// materialized table's state digest on join — which must equal the last
-/// appended block's `state_digest` (the ordering state machine executed
-/// the same decisions against an identically-preloaded store), making the
-/// off-path materialization independently auditable.
+/// Spawn the execution stage: `exec_rx` → store apply → ledger append
+/// (into the shared ledger the checkpoint stage compacts). Runs until
+/// the worker drops its sender, so every decision emitted before
+/// shutdown is persisted. Returns the materialized table's state digest
+/// on join — which must equal the last appended block's `state_digest`
+/// (the ordering state machine executed the same decisions against an
+/// identically-preloaded store), making the off-path materialization
+/// independently auditable.
+///
+/// With checkpointing enabled the stage keeps the store's incremental
+/// fingerprint *live* (per-write hashing instead of the deferred
+/// rebuild): checkpoint snapshots need an O(1) honest table digest at
+/// every interval boundary — that hashing is the execute-side cost of
+/// checkpointing. The boundary schedule is the [`CheckpointTracker`]'s
+/// ([`CheckpointTracker::on_decision`]); snapshot jobs go into the
+/// Block-policy checkpoint queue; when the checkpoint stage lags, this
+/// send parks the executor, which is precisely the throttle that bounds
+/// exec-to-stable lag.
+// The parameters mirror the stage wiring one-to-one.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_executor(
     node: NodeId,
     mut store: KvStore,
     exec_rx: Receiver<Decision>,
+    ledger: Arc<Mutex<Ledger>>,
+    ckpt_tx: Option<Sender<CheckpointMsg>>,
+    // The executor drives the tracker's decision/interval half; the
+    // checkpoint thread owns a second instance for the vote/quorum half.
+    mut tracker: CheckpointTracker,
+    cfg: CheckpointConfig,
+    queue: QueuePolicy,
     metrics: Metrics,
-) -> JoinHandle<(Ledger, rdb_crypto::digest::Digest)> {
+) -> JoinHandle<rdb_crypto::digest::Digest> {
     std::thread::Builder::new()
         .name(format!("{node}-execute"))
         .spawn(move || {
-            let mut ledger = Ledger::new();
+            let mut checkpointing = cfg.enabled() && ckpt_tx.is_some();
             while let Ok(decision) = exec_rx.recv() {
                 let t0 = Instant::now();
                 for entry in &decision.entries {
                     for op in entry.batch.batch.operations() {
-                        // The decision's state digest is authoritative
-                        // (computed by the ordering state machine), so the
-                        // materialized table skips per-write fingerprint
-                        // hashing; the digest is rebuilt once at shutdown.
-                        store.execute_unfingerprinted(op);
+                        if checkpointing {
+                            // Live fingerprinting: snapshots need an
+                            // honest O(1) digest at interval boundaries.
+                            store.execute(op);
+                        } else {
+                            // The decision's state digest is authoritative
+                            // (computed by the ordering state machine), so
+                            // the materialized table skips per-write
+                            // fingerprint hashing; the digest is rebuilt
+                            // once at shutdown.
+                            store.execute_unfingerprinted(op);
+                        }
                     }
                 }
-                ledger.append_decision(&decision);
+                let height = {
+                    let mut l = ledger.lock();
+                    l.append_decision(&decision);
+                    l.head_height()
+                };
                 metrics.stage_processed(Stage::Execute, t0.elapsed());
+                if !checkpointing {
+                    continue;
+                }
+                if let Some((height, state)) = tracker.on_decision(height, store.state_digest()) {
+                    let snapshot = cfg.retain_snapshot.then(|| store.clone());
+                    let tx = ckpt_tx.as_ref().expect("checkpointing implies sender");
+                    match send_with_policy(
+                        tx,
+                        CheckpointMsg::Snapshot {
+                            height,
+                            state,
+                            snapshot,
+                        },
+                        queue,
+                        false,
+                        &metrics,
+                        Stage::Checkpoint,
+                    ) {
+                        SendOutcome::Sent => metrics.stage_enqueued(Stage::Checkpoint),
+                        SendOutcome::Shed => unreachable!("snapshots never shed"),
+                        SendOutcome::Disconnected => checkpointing = false,
+                    }
+                }
             }
-            store.rebuild_fingerprint();
-            (ledger, store.state_digest())
+            if !checkpointing {
+                store.rebuild_fingerprint();
+            }
+            store.state_digest()
         })
         .expect("spawn execution thread")
+}
+
+/// What the checkpoint stage knew when its replica stopped.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// Last quorum-certified (stable) ledger height (0 before any).
+    pub stable_height: u64,
+    /// The state digest the quorum certified at that height.
+    pub stable_state: Digest,
+    /// Stable checkpoints certified over the run, oldest first:
+    /// `(height, state digest, anchor block hash)`. The block hash binds
+    /// the *entire* chain prefix up to the checkpoint, so two replicas
+    /// (or the simulator and the fabric) certifying the same height with
+    /// the same hash committed byte-identical prefixes.
+    pub certified: Vec<(u64, Digest, Digest)>,
+    /// The retained [`KvStore`] snapshot of the last stable checkpoint
+    /// ([`CheckpointConfig::retain_snapshot`]) — the state a restarting
+    /// replica pairs with a peer's ledger suffix.
+    pub snapshot: Option<(u64, KvStore)>,
+    /// Unstable checkpoints still tracked at shutdown (the tracker's
+    /// memory watermark — bounded by in-flight checkpoints, not by run
+    /// length).
+    pub tracked: usize,
+}
+
+/// Spawn the checkpoint stage: snapshot jobs and peer votes →
+/// quorum certification → ledger compaction.
+///
+/// The quorum is `N - F` over *all* `z·n` replicas (ledger heights are
+/// protocol-independent, so pipeline checkpoints certify across the
+/// whole deployment regardless of how the protocol scopes its consensus
+/// groups). Votes leave through [`TransportSender::try_send`] — held and
+/// retried on a full peer inbox, never parked on — so this thread always
+/// returns to drain its queue, keeping the Block-policy backpressure
+/// chain (executor → checkpoint queue → this thread) deadlock-free.
+///
+/// Compaction deliberately lags by one checkpoint: when height `H_k`
+/// becomes stable the ledger is compacted to `H_{k-1}`, keeping the last
+/// full interval as a grace window so that a peer restarting from *its*
+/// latest stable checkpoint (at most one interval behind ours) still
+/// finds its recovery anchor retained here.
+pub(crate) fn spawn_checkpointer(
+    node: NodeId,
+    system: SystemConfig,
+    cfg: CheckpointConfig,
+    ckpt_rx: Receiver<CheckpointMsg>,
+    sender: TransportSender,
+    ledger: Arc<Mutex<Ledger>>,
+    metrics: Metrics,
+) -> JoinHandle<CheckpointReport> {
+    std::thread::Builder::new()
+        .name(format!("{node}-checkpoint"))
+        .spawn(move || {
+            let NodeId::Replica(me) = node else {
+                panic!("checkpoint stage runs on replicas only");
+            };
+            let peers: Vec<NodeId> = system
+                .all_replicas()
+                .map(NodeId::from)
+                .filter(|p| *p != node)
+                .collect();
+            let members: Vec<ReplicaId> = system.all_replicas().collect();
+            let mut tracker = CheckpointTracker::new(cfg.interval, system.global_quorum());
+            let mut pending_snapshots: BTreeMap<u64, KvStore> = BTreeMap::new();
+            let mut stable_snapshot: Option<(u64, KvStore)> = None;
+            let mut certified: Vec<(u64, Digest, Digest)> = Vec::new();
+            // Stable checkpoints whose anchor block the (lagging) local
+            // ledger has not materialized yet; resolved in height order
+            // once the executor catches up.
+            let mut unresolved: VecDeque<StableCheckpoint> = VecDeque::new();
+            let mut prev_stable = 0u64;
+            // Votes a full peer inbox handed back; retried every loop
+            // iteration (the checkpoint stage's own "retransmission").
+            let mut held: VecDeque<(NodeId, Message)> = VecDeque::new();
+            loop {
+                let msg = match ckpt_rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                let mut newly_stable = None;
+                match msg {
+                    Some(CheckpointMsg::Snapshot {
+                        height,
+                        state,
+                        snapshot,
+                    }) => {
+                        let t0 = Instant::now();
+                        if !cfg.fault_delay.is_zero() {
+                            std::thread::sleep(cfg.fault_delay); // injected fault
+                        }
+                        if tracker.record_own(height, state) {
+                            if let Some(s) = snapshot {
+                                pending_snapshots.insert(height, s);
+                                // Stability lag keeps snapshots pending;
+                                // bound them by keeping only the freshest
+                                // few full-table clones (a dropped height
+                                // only means stable_snapshot does not
+                                // advance when that height stabilizes).
+                                while pending_snapshots.len() > 8 {
+                                    let oldest =
+                                        *pending_snapshots.keys().next().expect("non-empty");
+                                    pending_snapshots.remove(&oldest);
+                                }
+                            }
+                            newly_stable = tracker.on_vote(me, height, state);
+                            let vote = checkpoint::pipeline_vote(height, state);
+                            for p in &peers {
+                                if !sender.try_send(*p, vote.clone()) {
+                                    held.push_back((*p, vote.clone()));
+                                }
+                            }
+                        } else if let Some(s) = snapshot {
+                            // A peer quorum certified this height before
+                            // our own snapshot job drained (we are the
+                            // laggard). The height is already stable, so
+                            // the snapshot is immediately a valid — and
+                            // fresher — recovery anchor.
+                            if stable_snapshot.as_ref().is_none_or(|(h, _)| *h < height) {
+                                stable_snapshot = Some((height, s));
+                            }
+                        }
+                        metrics.stage_processed(Stage::Checkpoint, t0.elapsed());
+                    }
+                    Some(CheckpointMsg::Vote {
+                        from,
+                        height,
+                        state,
+                    }) => {
+                        let t0 = Instant::now();
+                        if members.contains(&from) {
+                            newly_stable = tracker.on_vote(from, height, state);
+                        }
+                        metrics.stage_processed(Stage::Checkpoint, t0.elapsed());
+                    }
+                    None => {}
+                }
+                if let Some(stable) = newly_stable {
+                    let t0 = Instant::now();
+                    {
+                        let mut l = ledger.lock();
+                        // Lag-one compaction: keep the last interval as
+                        // the peers' recovery grace window.
+                        l.compact(prev_stable);
+                    }
+                    prev_stable = stable.seq;
+                    unresolved.push_back(stable);
+                    if let Some(s) = pending_snapshots.remove(&stable.seq) {
+                        stable_snapshot = Some((stable.seq, s));
+                    }
+                    pending_snapshots.retain(|h, _| *h > stable.seq);
+                    metrics.stage_batch(Stage::Checkpoint, 0, 0, t0.elapsed());
+                }
+                // Record certified anchors whose block the local ledger
+                // has materialized. A quorum can stabilize a height this
+                // replica's executor has not reached yet (quorum without
+                // us); the anchor hash is then recorded as soon as the
+                // block exists instead of being lost.
+                while let Some(front) = unresolved.front().copied() {
+                    let (anchor_hash, base) = {
+                        let l = ledger.lock();
+                        (l.block(front.seq).map(|b| b.hash()), l.base_height())
+                    };
+                    match anchor_hash {
+                        Some(hash) => {
+                            certified.push((front.seq, front.state, hash));
+                            unresolved.pop_front();
+                        }
+                        // A later stability compacted past this anchor
+                        // before the executor ever materialized it — its
+                        // hash is unrecordable; skip it instead of
+                        // head-of-line blocking every later entry.
+                        None if front.seq < base => {
+                            unresolved.pop_front();
+                        }
+                        None => break, // executor not there yet
+                    }
+                }
+                // Retry held votes without ever parking.
+                for _ in 0..held.len() {
+                    let (to, msg) = held.pop_front().expect("counted");
+                    if !sender.try_send(to, msg.clone()) {
+                        held.push_back((to, msg));
+                    }
+                }
+            }
+            CheckpointReport {
+                stable_height: tracker.stable_seq(),
+                stable_state: tracker.stable_state(),
+                certified,
+                snapshot: stable_snapshot,
+                tracked: tracker.tracked().max(pending_snapshots.len()),
+            }
+        })
+        .expect("spawn checkpoint thread")
 }
 
 #[cfg(test)]
@@ -282,6 +670,7 @@ mod tests {
             verify,
             verify_rx,
             work_tx,
+            None,
             metrics.clone(),
             Arc::clone(&stop),
         );
@@ -331,6 +720,7 @@ mod tests {
             verify,
             verify_rx,
             work_tx,
+            None,
             metrics.clone(),
             Arc::clone(&stop),
         );
@@ -389,6 +779,7 @@ mod tests {
             verify,
             verify_rx,
             work_tx,
+            None,
             metrics.clone(),
             Arc::clone(&stop),
         );
@@ -418,18 +809,9 @@ mod tests {
         );
     }
 
-    #[test]
-    fn executor_applies_decisions_in_order() {
-        let (exec_tx, exec_rx) = unbounded::<Decision>();
-        let metrics = Metrics::new();
-        let handle = spawn_executor(
-            ReplicaId::new(0, 0).into(),
-            KvStore::new(),
-            exec_rx,
-            metrics.clone(),
-        );
+    fn send_write_decisions(exec_tx: &Sender<Decision>, n: u64) {
         let client = ClientId::new(0, 0);
-        for seq in 1..=5u64 {
+        for seq in 1..=n {
             let batch = ClientBatch {
                 client,
                 batch_seq: seq,
@@ -457,8 +839,31 @@ mod tests {
                 })
                 .unwrap();
         }
+    }
+
+    #[test]
+    fn executor_applies_decisions_in_order() {
+        let (exec_tx, exec_rx) = unbounded::<Decision>();
+        let metrics = Metrics::new();
+        let ledger = Arc::new(parking_lot::Mutex::new(Ledger::new()));
+        let handle = spawn_executor(
+            ReplicaId::new(0, 0).into(),
+            KvStore::new(),
+            exec_rx,
+            Arc::clone(&ledger),
+            None,
+            CheckpointTracker::new(0, 3),
+            CheckpointConfig::default(),
+            QueuePolicy::block(8),
+            metrics.clone(),
+        );
+        send_write_decisions(&exec_tx, 5);
         drop(exec_tx); // worker shutdown: executor drains and returns
-        let (ledger, exec_digest) = handle.join().unwrap();
+        let exec_digest = handle.join().unwrap();
+        let Ok(ledger) = Arc::try_unwrap(ledger) else {
+            unreachable!("executor joined");
+        };
+        let ledger = ledger.into_inner();
         // The materialized table matches an inline application of the
         // same writes (fingerprint rebuilt after the deferred applies).
         let mut reference = KvStore::new();
@@ -478,5 +883,160 @@ mod tests {
         }
         ledger.verify(None).expect("chain linkage intact");
         assert_eq!(metrics.stage_snapshot().row(Stage::Execute).processed, 5);
+    }
+
+    #[test]
+    fn executor_snapshots_every_interval_with_live_fingerprint() {
+        let (exec_tx, exec_rx) = unbounded::<Decision>();
+        let (ckpt_tx, ckpt_rx) = bounded::<CheckpointMsg>(8);
+        let metrics = Metrics::new();
+        let ledger = Arc::new(parking_lot::Mutex::new(Ledger::new()));
+        let cfg = CheckpointConfig {
+            interval: 2,
+            retain_snapshot: true,
+            fault_delay: Duration::ZERO,
+        };
+        let handle = spawn_executor(
+            ReplicaId::new(0, 0).into(),
+            KvStore::new(),
+            exec_rx,
+            Arc::clone(&ledger),
+            Some(ckpt_tx),
+            CheckpointTracker::new(cfg.interval, 3),
+            cfg,
+            QueuePolicy::block(8),
+            metrics.clone(),
+        );
+        send_write_decisions(&exec_tx, 5);
+        drop(exec_tx);
+        let exec_digest = handle.join().unwrap();
+
+        // Reference: the honest table digest after each prefix.
+        let mut reference = KvStore::new();
+        let mut digests = vec![reference.state_digest()];
+        for seq in 1..=5u64 {
+            reference.execute(&Operation::Write {
+                key: seq,
+                value: rdb_store::Value::from_u64(seq),
+            });
+            digests.push(reference.state_digest());
+        }
+        assert_eq!(exec_digest, digests[5], "live fingerprint stays honest");
+
+        // Interval 2 over 5 decisions: snapshot jobs at heights 2 and 4.
+        let jobs: Vec<CheckpointMsg> = ckpt_rx.iter().collect();
+        assert_eq!(jobs.len(), 2);
+        for (job, expect_h) in jobs.iter().zip([2u64, 4]) {
+            let CheckpointMsg::Snapshot {
+                height,
+                state,
+                snapshot,
+            } = job
+            else {
+                panic!("executor only emits snapshots");
+            };
+            assert_eq!(*height, expect_h);
+            assert_eq!(*state, digests[expect_h as usize]);
+            let snap = snapshot.as_ref().expect("retained");
+            assert_eq!(snap.state_digest(), *state);
+            assert!(snap.verify_fingerprint(), "snapshot digest is live");
+        }
+        assert_eq!(metrics.stage_snapshot().row(Stage::Checkpoint).enqueued, 2);
+    }
+
+    #[test]
+    fn checkpointer_certifies_quorum_and_compacts_with_lag() {
+        use crate::transport::InProcTransport;
+        let system = SystemConfig::geo(1, 4).unwrap();
+        let transport = InProcTransport::new(None);
+        let me: NodeId = ReplicaId::new(0, 0).into();
+        let handle = transport.register(me);
+        let peer_handles: Vec<_> = (1..4u16)
+            .map(|i| transport.register(ReplicaId::new(0, i).into()))
+            .collect();
+        let (_inbox, sender) = handle.split();
+
+        // A ledger of 5 blocks whose state digests we will certify.
+        let ledger = Arc::new(parking_lot::Mutex::new(Ledger::new()));
+        let mut states = vec![Digest::ZERO];
+        {
+            let mut l = ledger.lock();
+            for i in 1..=5u64 {
+                let d = Digest::of(&i.to_le_bytes());
+                l.append(SignedBatch::noop(ClusterId(0), i), None, d);
+                states.push(d);
+            }
+        }
+
+        let (ckpt_tx, ckpt_rx) = bounded::<CheckpointMsg>(8);
+        let metrics = Metrics::new();
+        let cfg = CheckpointConfig::every(2);
+        let h = spawn_checkpointer(
+            me,
+            system,
+            cfg,
+            ckpt_rx,
+            sender,
+            Arc::clone(&ledger),
+            metrics.clone(),
+        );
+
+        let vote = |from: u16, height: u64| CheckpointMsg::Vote {
+            from: ReplicaId::new(0, from),
+            height,
+            state: states[height as usize],
+        };
+        // Own snapshot at 2 + two peer votes = quorum 3 of 4.
+        ckpt_tx
+            .send(CheckpointMsg::Snapshot {
+                height: 2,
+                state: states[2],
+                snapshot: None,
+            })
+            .unwrap();
+        ckpt_tx.send(vote(1, 2)).unwrap();
+        ckpt_tx.send(vote(2, 2)).unwrap();
+        // Second checkpoint at 4.
+        ckpt_tx
+            .send(CheckpointMsg::Snapshot {
+                height: 4,
+                state: states[4],
+                snapshot: None,
+            })
+            .unwrap();
+        ckpt_tx.send(vote(1, 4)).unwrap();
+        ckpt_tx.send(vote(3, 4)).unwrap();
+        drop(ckpt_tx);
+        let report = h.join().unwrap();
+
+        assert_eq!(report.stable_height, 4);
+        assert_eq!(report.stable_state, states[4]);
+        assert_eq!(report.certified.len(), 2);
+        assert_eq!(report.certified[0].0, 2);
+        assert_eq!(report.certified[1].0, 4);
+        assert_eq!(report.tracked, 0, "stability pruned the tracker");
+        // Lag-one compaction: stabilizing 4 compacts to 2 (the grace
+        // window for peers restarting from *their* last checkpoint).
+        let Ok(l) = Arc::try_unwrap(ledger) else {
+            unreachable!("checkpointer joined");
+        };
+        let l = l.into_inner();
+        assert_eq!(l.base_height(), 2);
+        assert_eq!(l.head_height(), 5);
+        l.verify(None).expect("compacted chain intact");
+        // Both checkpoints were broadcast to every peer as non-droppable
+        // pipeline-scope votes.
+        for ph in &peer_handles {
+            let mut got = Vec::new();
+            while let Ok(env) = ph.inbox.recv_timeout(Duration::from_millis(200)) {
+                assert!(rdb_consensus::checkpoint::is_pipeline_vote(&env.msg));
+                assert!(!env.msg.droppable());
+                got.push(env.msg);
+                if got.len() == 2 {
+                    break;
+                }
+            }
+            assert_eq!(got.len(), 2, "peer missed a checkpoint vote");
+        }
     }
 }

@@ -10,8 +10,8 @@
 //! * [`QueuePolicy`] — one queue's capacity plus its [`Overload`]
 //!   behavior;
 //! * [`StageQueues`] — the full per-replica layout (input → work → exec →
-//!   output), with defaults derived from batch size and verifier fan-out
-//!   via [`StageQueues::derive`];
+//!   checkpoint → output), with defaults derived from batch size and
+//!   verifier fan-out via [`StageQueues::derive`];
 //! * [`send_with_policy`] — the one enqueue primitive every producer in
 //!   the fabric uses, which implements Block (measured in the stage's
 //!   `blocked_ns` counter) and Shed (counted in the stage's `shed`
@@ -100,13 +100,16 @@ impl QueuePolicy {
 
 /// The bounded-queue layout of one replica's pipeline, in flow order.
 ///
-/// Four queues connect the five Figure-9 stages (the transport's delivery
-/// *is* the input stage, so the inbox doubles as the verify stage's feed):
+/// Five queues connect the six pipeline stages (the transport's delivery
+/// *is* the input stage, so the inbox doubles as the verify stage's feed;
+/// the checkpoint queue hangs off the execute stage):
 ///
 /// ```text
 /// transport ─▶ [input] ─▶ verify ×N ─▶ [work] ─▶ order ─▶ [exec] ─▶ execute
-///                                                  │
-///                                                  └─▶ [output] ─▶ output thread
+///                  │                               │                   │
+///                  │ (pipeline ckpt votes)         └─▶ [output] ─▶ output thread
+///                  └────────▶ verify ─▶ [checkpoint] ◀─────────────────┘
+///                                            └─▶ checkpoint thread
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageQueues {
@@ -121,6 +124,20 @@ pub struct StageQueues {
     /// Ordering worker → execution thread (finalized decisions). Blocking:
     /// decisions are agreed state and must never be shed.
     pub exec: QueuePolicy,
+    /// Execute stage → checkpoint thread (snapshot jobs), and verifier
+    /// pool → checkpoint thread (peer checkpoint votes). **Must block**:
+    /// checkpoints are not retransmittable state — no timer re-drives a
+    /// lost snapshot or vote, so shedding here could stall stability (and
+    /// the garbage collection it gates) forever. The bound doubles as the
+    /// overload signal the ROADMAP called for: a backlogged checkpoint
+    /// queue parks the *executor*, which fills the exec queue, parks the
+    /// worker, and throttles the whole replica — bounding exec-to-stable
+    /// lag instead of letting stable-state lag grow without bound. The
+    /// chain is deadlock-free because the checkpoint thread itself never
+    /// parks: it delivers its votes to peers with a non-blocking
+    /// hold-and-retry send (`TransportSender::try_send`), so it always
+    /// returns to drain its queue.
+    pub checkpoint: QueuePolicy,
     /// Ordering worker → output thread (outbound messages). Blocking
     /// locally; the output thread itself sheds droppable traffic at *peer*
     /// inboxes, so this never deadlocks across replicas.
@@ -138,6 +155,10 @@ impl StageQueues {
     ///   worker — half the input bound, floor 32;
     /// * the *exec* queue holds a handful of in-flight decisions (each is
     ///   a whole batch; a deep queue here just hides execution lag);
+    /// * the *checkpoint* queue is deliberately shallow (Block policy,
+    ///   see the field docs): one interval's snapshot job plus a burst of
+    ///   peer votes fit, and anything deeper would only delay the
+    ///   execution throttle that bounds exec-to-stable lag;
     /// * the *output* queue covers the fan-out burst a single decision
     ///   emits (one message per peer replica and client), floor 64.
     pub fn derive(batch_size: usize, verifier_threads: usize) -> StageQueues {
@@ -148,6 +169,7 @@ impl StageQueues {
             input: QueuePolicy::shed(input),
             work: QueuePolicy::block((input / 2).max(32)),
             exec: QueuePolicy::block(16),
+            checkpoint: QueuePolicy::block(8),
             output: QueuePolicy::block((input / 2).max(64)),
         }
     }
@@ -221,8 +243,9 @@ mod tests {
         let large = StageQueues::derive(100, 4);
         assert!(large.input.capacity > small.input.capacity);
         assert!(large.work.capacity > small.work.capacity);
-        // Interior queues always block: admitted traffic is never lost.
-        for q in [large.work, large.exec, large.output] {
+        // Interior queues always block: admitted traffic is never lost —
+        // and the checkpoint queue in particular (non-retransmittable).
+        for q in [large.work, large.exec, large.checkpoint, large.output] {
             assert_eq!(q.overload, Overload::Block);
         }
         assert_eq!(StageQueues::default(), StageQueues::derive(10, 1));

@@ -230,6 +230,62 @@ impl InProcTransport {
         }
     }
 
+    /// Non-blocking send for producer stages that must never park on a
+    /// peer's full inbox (the checkpoint thread delivering its
+    /// non-droppable votes). Delayed links accept unconditionally (the
+    /// message parks in the wheel, "in the network"). On a direct link a
+    /// full inbox sheds droppable traffic per the inbox policy (returns
+    /// `true`: the message is accounted for) but hands a non-droppable
+    /// message **back to the caller** (`false`) to hold and retry —
+    /// blocking here is exactly the cross-replica cycle the queue design
+    /// forbids (see [`crate::queue`]).
+    pub fn try_send(&self, env: Envelope) -> bool {
+        let delay = self
+            .shared
+            .delay
+            .as_ref()
+            .map(|f| f(env.from, env.to))
+            .unwrap_or(SimDuration::ZERO);
+        if delay != SimDuration::ZERO {
+            self.send(env);
+            return true;
+        }
+        let (tx, policy) = {
+            let inboxes = self.shared.inboxes.lock();
+            match inboxes.get(&env.to) {
+                Some(e) => (e.tx.clone(), e.policy),
+                None => return true, // disconnected (crash tests): drop
+            }
+        };
+        let to_replica = matches!(env.to, NodeId::Replica(_));
+        match tx.try_send(env) {
+            Ok(()) => {
+                if to_replica {
+                    self.shared
+                        .metrics
+                        .stage_enqueued(rdb_consensus::stage::Stage::Input);
+                }
+                true
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => true,
+            Err(crossbeam::channel::TrySendError::Full(env)) => {
+                let shed = match policy {
+                    Some(p) => p.overload == crate::queue::Overload::Shed && env.msg.droppable(),
+                    None => false, // unbounded inboxes are never Full
+                };
+                if shed {
+                    if to_replica {
+                        self.shared
+                            .metrics
+                            .stage_shed(rdb_consensus::stage::Stage::Input);
+                    }
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
     /// Remove a node (its messages are dropped from now on). Used to
     /// crash replicas in failure tests.
     pub fn disconnect(&self, node: NodeId) {
@@ -367,6 +423,9 @@ impl TransportHandle {
 }
 
 /// The sending half of a [`TransportHandle`] (no inbox receiver).
+/// Cloneable so that multiple producer-only stages of one replica (the
+/// output thread and the checkpoint thread) can send concurrently.
+#[derive(Clone)]
 pub struct TransportSender {
     node: NodeId,
     transport: InProcTransport,
@@ -380,6 +439,17 @@ impl TransportSender {
             to,
             msg,
         });
+    }
+
+    /// Non-blocking send: `false` means the target inbox is full and the
+    /// (non-droppable) message was handed back — hold it and retry. See
+    /// [`InProcTransport::try_send`].
+    pub fn try_send(&self, to: NodeId, msg: Message) -> bool {
+        self.transport.try_send(Envelope {
+            from: self.node,
+            to,
+            msg,
+        })
     }
 }
 

@@ -9,12 +9,24 @@ use rdb_consensus::types::{Decision, SignedBatch};
 use rdb_crypto::digest::Digest;
 use rdb_crypto::merkle::MerkleTree;
 
-/// A replica's full copy of the blockchain (ResilientDB is fully
-/// replicated: "each replica independently maintains a full copy of the
-/// ledger", §3).
+/// A replica's copy of the blockchain (ResilientDB is fully replicated:
+/// "each replica independently maintains a full copy of the ledger", §3).
+///
+/// Once the checkpoint stage certifies a prefix as stable, the ledger can
+/// be **compacted** ([`Ledger::compact`]): block bodies below the stable
+/// height are dropped and the block *at* that height is retained in full
+/// as the **recovery anchor** — the trusted root that [`Ledger::verify`]
+/// and `recovery::audit_chain` chain the remaining suffix from, and that
+/// a restarting replica pairs with its checkpointed state snapshot.
+/// Compaction never changes the head: appends, head hashes and retained
+/// block hashes are byte-identical to the uncompacted chain.
 #[derive(Debug, Clone)]
 pub struct Ledger {
+    /// Retained blocks; `blocks[0]` is genesis (uncompacted) or the
+    /// recovery anchor block at height `base`.
     blocks: Vec<Block>,
+    /// Height of `blocks[0]` (0 until the first compaction).
+    base: u64,
 }
 
 impl Ledger {
@@ -22,17 +34,46 @@ impl Ledger {
     pub fn new() -> Ledger {
         Ledger {
             blocks: vec![Block::genesis()],
+            base: 0,
         }
     }
 
-    /// Number of blocks including genesis.
+    /// Number of *retained* blocks including genesis/anchor.
     pub fn len(&self) -> usize {
         self.blocks.len()
     }
 
     /// True when only genesis is present.
     pub fn is_empty(&self) -> bool {
-        self.blocks.len() == 1
+        self.base == 0 && self.blocks.len() == 1
+    }
+
+    /// Height of the first retained block: 0 until compaction, afterwards
+    /// the recovery anchor's height (the last compacted-to stable
+    /// checkpoint).
+    pub fn base_height(&self) -> u64 {
+        self.base
+    }
+
+    /// The first retained block — genesis, or the recovery anchor after
+    /// compaction.
+    pub fn anchor(&self) -> &Block {
+        self.blocks.first().expect("anchor always retained")
+    }
+
+    /// Drop block bodies below `stable` (a checkpoint-certified height),
+    /// keeping the block at `stable` as the recovery anchor. Clamped to
+    /// the head; compacting at or below the current base is a no-op.
+    /// Returns the number of pruned blocks.
+    pub fn compact(&mut self, stable: u64) -> usize {
+        let stable = stable.min(self.head_height());
+        if stable <= self.base {
+            return 0;
+        }
+        let cut = (stable - self.base) as usize;
+        self.blocks.drain(..cut);
+        self.base = stable;
+        cut
     }
 
     /// Height of the latest block.
@@ -45,12 +86,14 @@ impl Ledger {
         self.blocks.last().expect("genesis always present").hash()
     }
 
-    /// Get a block by height.
+    /// Get a block by height (`None` for heights compacted away).
     pub fn block(&self, height: u64) -> Option<&Block> {
-        self.blocks.get(height as usize)
+        let idx = height.checked_sub(self.base)?;
+        self.blocks.get(idx as usize)
     }
 
-    /// All blocks (for audits).
+    /// All retained blocks (for audits), starting at
+    /// [`Ledger::base_height`].
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
     }
@@ -89,35 +132,51 @@ impl Ledger {
         }
     }
 
-    /// Verify the whole chain: heights, parent links, genesis identity,
-    /// and every embedded certificate (when `cfg`/`crypto` are provided).
+    /// Verify the retained chain: heights, parent links, genesis identity
+    /// (or, after compaction, recovery-anchor consistency), and every
+    /// embedded certificate (when `cfg`/`crypto` are provided). The
+    /// anchor block itself is the trust root: its own parent link points
+    /// into the compacted prefix and cannot be re-checked — which is
+    /// exactly why compaction only ever runs on checkpoint-certified
+    /// heights.
     pub fn verify(&self, cfg: Option<(&SystemConfig, &CryptoCtx)>) -> RdbResult<()> {
-        if self.blocks.is_empty() || self.blocks[0] != Block::genesis() {
-            return Err(RdbError::LedgerCorruption("bad genesis".into()));
+        if self.blocks.is_empty() {
+            return Err(RdbError::LedgerCorruption("no anchor block".into()));
+        }
+        if self.base == 0 {
+            if self.blocks[0] != Block::genesis() {
+                return Err(RdbError::LedgerCorruption("bad genesis".into()));
+            }
+        } else if self.blocks[0].height != self.base {
+            return Err(RdbError::LedgerCorruption(format!(
+                "anchor height {} does not match base {}",
+                self.blocks[0].height, self.base
+            )));
         }
         let mut parent = self.blocks[0].hash();
         for (i, b) in self.blocks.iter().enumerate().skip(1) {
-            if b.height != i as u64 {
+            let height = self.base + i as u64;
+            if b.height != height {
                 return Err(RdbError::LedgerCorruption(format!(
-                    "height mismatch at {i}: {}",
+                    "height mismatch at {height}: {}",
                     b.height
                 )));
             }
             if b.parent != parent {
                 return Err(RdbError::LedgerCorruption(format!(
-                    "broken parent link at height {i}"
+                    "broken parent link at height {height}"
                 )));
             }
             if let Some(cert) = &b.certificate {
                 if cert.digest != b.batch.digest() {
                     return Err(RdbError::LedgerCorruption(format!(
-                        "certificate digest mismatch at height {i}"
+                        "certificate digest mismatch at height {height}"
                     )));
                 }
                 if let Some((sys, crypto)) = cfg {
                     if !cert.verify(sys, crypto) {
                         return Err(RdbError::LedgerCorruption(format!(
-                            "invalid certificate at height {i}"
+                            "invalid certificate at height {height}"
                         )));
                     }
                 }
@@ -127,8 +186,9 @@ impl Ledger {
         Ok(())
     }
 
-    /// Merkle root over all block hashes — a compact commitment to the
-    /// entire ledger used by recovery audits.
+    /// Merkle root over the *retained* block hashes — a compact
+    /// commitment to the ledger (from the recovery anchor onward, once
+    /// compacted) used by recovery audits.
     pub fn merkle_root(&self) -> Digest {
         let leaves: Vec<Digest> = self.blocks.iter().map(|b| b.hash()).collect();
         MerkleTree::build(&leaves).root()
@@ -136,8 +196,10 @@ impl Ledger {
 
     /// Replace the block vector wholesale (used by
     /// [`Ledger::from_blocks_unchecked`]; invariants must be re-checked
-    /// with [`Ledger::verify`]).
+    /// with [`Ledger::verify`]). The base is taken from the first block's
+    /// height.
     pub(crate) fn replace_blocks(&mut self, blocks: Vec<Block>) {
+        self.base = blocks.first().map_or(0, |b| b.height);
         self.blocks = blocks;
     }
 }
@@ -208,6 +270,70 @@ mod tests {
         assert_eq!(a.merkle_root(), b.merkle_root());
         b.append(noop(2), None, Digest::ZERO);
         assert_ne!(a.merkle_root(), b.merkle_root());
+    }
+
+    #[test]
+    fn compaction_keeps_anchor_and_suffix_and_head() {
+        let mut l = Ledger::new();
+        for i in 1..=10 {
+            l.append(noop(i), None, Digest::of(&[i as u8]));
+        }
+        let head = l.head_hash();
+        let b7 = l.block(7).unwrap().hash();
+        let pruned = l.compact(6);
+        assert_eq!(pruned, 6, "genesis plus heights 1..=5");
+        assert_eq!(l.base_height(), 6);
+        assert_eq!(l.anchor().height, 6);
+        assert_eq!(l.len(), 5, "anchor + 4 suffix blocks retained");
+        assert!(l.block(5).is_none(), "pruned heights are gone");
+        assert_eq!(l.block(7).unwrap().hash(), b7, "suffix is untouched");
+        assert_eq!(l.head_hash(), head, "compaction never changes the head");
+        assert_eq!(l.head_height(), 10);
+        l.verify(None)
+            .expect("compacted chain verifies from the anchor");
+        // Idempotent / monotone: compacting at or below the base is a no-op.
+        assert_eq!(l.compact(6), 0);
+        assert_eq!(l.compact(3), 0);
+        // Appending after compaction keeps linking from the same head.
+        l.append(noop(11), None, Digest::of(b"s11"));
+        assert_eq!(l.block(11).unwrap().parent, head);
+        l.verify(None).expect("still verifies");
+    }
+
+    #[test]
+    fn compact_clamps_to_head() {
+        let mut l = Ledger::new();
+        for i in 1..=3 {
+            l.append(noop(i), None, Digest::ZERO);
+        }
+        l.compact(99);
+        assert_eq!(l.base_height(), 3);
+        assert_eq!(l.len(), 1, "only the head remains as anchor");
+        l.verify(None).expect("single-anchor chain verifies");
+    }
+
+    #[test]
+    fn tampered_compacted_suffix_is_detected() {
+        let mut l = Ledger::new();
+        for i in 1..=8 {
+            l.append(noop(i), None, Digest::of(&[i as u8]));
+        }
+        l.compact(4);
+        l.blocks[2].batch = noop(99); // height 6
+        let err = l.verify(None).unwrap_err();
+        assert!(err.to_string().contains("height 7"), "{err}");
+    }
+
+    #[test]
+    fn anchor_height_must_match_base() {
+        let mut l = Ledger::new();
+        for i in 1..=4 {
+            l.append(noop(i), None, Digest::ZERO);
+        }
+        l.compact(2);
+        l.blocks[0].height = 3; // forged anchor
+        let err = l.verify(None).unwrap_err();
+        assert!(err.to_string().contains("anchor"), "{err}");
     }
 
     #[test]

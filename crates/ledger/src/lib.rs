@@ -21,4 +21,4 @@ pub mod recovery;
 
 pub use block::Block;
 pub use chain::Ledger;
-pub use recovery::{audit_chain, recover_from, AuditError};
+pub use recovery::{audit_chain, recover_from, recover_from_checkpoint, AuditError};

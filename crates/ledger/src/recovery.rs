@@ -26,6 +26,16 @@ pub enum AuditError {
     },
     /// The peer's chain disagrees with a block the auditor already trusts.
     ForkedAt(u64),
+    /// The peer compacted its ledger past the height the recovering
+    /// replica needs — the audit cannot link the chains, and recovery
+    /// requires a newer state snapshot (a full state transfer) instead
+    /// of suffix replay.
+    PrunedGap {
+        /// The peer's first retained height (its recovery anchor).
+        base: u64,
+        /// The height the auditor needed retained.
+        need: u64,
+    },
 }
 
 impl fmt::Display for AuditError {
@@ -36,6 +46,9 @@ impl fmt::Display for AuditError {
                 write!(f, "ledger too short: have {have}, need {need}")
             }
             AuditError::ForkedAt(h) => write!(f, "ledger forks from trusted prefix at {h}"),
+            AuditError::PrunedGap { base, need } => {
+                write!(f, "ledger compacted to {base}, need height {need} retained")
+            }
         }
     }
 }
@@ -45,7 +58,11 @@ impl std::error::Error for AuditError {}
 /// Audit a peer's ledger against an optionally-known trusted prefix.
 ///
 /// Returns `Ok(())` when the chain is internally consistent, all
-/// certificates verify, and the chain extends `trusted`.
+/// certificates verify, and the chain extends `trusted` over every
+/// height *both* ledgers retain. Compacted ledgers (on either side)
+/// audit from the later of the two recovery anchors; a peer that pruned
+/// past everything the auditor trusts is rejected with
+/// [`AuditError::PrunedGap`] — nothing links the chains.
 pub fn audit_chain(
     peer: &Ledger,
     trusted: Option<&Ledger>,
@@ -61,9 +78,16 @@ pub fn audit_chain(
                 need: trusted.head_height(),
             });
         }
-        for h in 0..=trusted.head_height() {
-            let a = trusted.block(h).expect("within range");
-            let b = peer.block(h).expect("checked length");
+        if peer.base_height() > trusted.head_height() {
+            return Err(AuditError::PrunedGap {
+                base: peer.base_height(),
+                need: trusted.head_height(),
+            });
+        }
+        let from = peer.base_height().max(trusted.base_height());
+        for h in from..=trusted.head_height() {
+            let a = trusted.block(h).expect("within retained range");
+            let b = peer.block(h).expect("within retained range");
             if a.hash() != b.hash() {
                 return Err(AuditError::ForkedAt(h));
             }
@@ -72,11 +96,12 @@ pub fn audit_chain(
     Ok(())
 }
 
-/// Rebuild replica state from an audited ledger: replay every block's
-/// batch against a fresh store. Returns the recovered store; the caller
-/// should verify the final state digest against `peer`'s recorded one
-/// (which this function asserts when the ledger records real-execution
-/// state digests).
+/// Rebuild replica state from an audited *uncompacted* ledger: replay
+/// every block's batch against a fresh store. Returns the recovered
+/// store; the caller should verify the final state digest against
+/// `peer`'s recorded one (which this function asserts when the ledger
+/// records real-execution state digests). A compacted peer cannot be
+/// replayed from genesis — use [`recover_from_checkpoint`].
 pub fn recover_from(
     peer: &Ledger,
     trusted: Option<&Ledger>,
@@ -84,11 +109,64 @@ pub fn recover_from(
     crypto: &CryptoCtx,
     initial_store: KvStore,
 ) -> Result<KvStore, AuditError> {
+    if peer.base_height() > 0 {
+        return Err(AuditError::PrunedGap {
+            base: peer.base_height(),
+            need: 0,
+        });
+    }
     audit_chain(peer, trusted, cfg, crypto)?;
     let mut store = initial_store;
     for block in peer.blocks().iter().skip(1) {
         let ops: Vec<rdb_store::Operation> = block.batch.batch.operations().cloned().collect();
         store.execute_batch(&ops);
+    }
+    Ok(store)
+}
+
+/// Restart a replica from a stable checkpoint: pair the checkpointed
+/// state snapshot (`anchor_store`, the table as of `anchor_height`) with
+/// a peer's audited ledger, validate the snapshot against the anchor
+/// block's recorded `state_digest`, and replay only the suffix above the
+/// anchor. Returns the caught-up store, whose digest is checked against
+/// the peer's head block — the recovering replica rejoins with the exact
+/// state the quorum certified.
+///
+/// `trusted` is the restarting replica's own retained ledger (fork
+/// detection over the overlap); the peer must still retain the anchor
+/// height, otherwise recovery needs a newer snapshot
+/// ([`AuditError::PrunedGap`]).
+pub fn recover_from_checkpoint(
+    peer: &Ledger,
+    trusted: Option<&Ledger>,
+    cfg: &SystemConfig,
+    crypto: &CryptoCtx,
+    anchor_height: u64,
+    anchor_store: KvStore,
+) -> Result<KvStore, AuditError> {
+    audit_chain(peer, trusted, cfg, crypto)?;
+    let Some(anchor_block) = peer.block(anchor_height) else {
+        return Err(AuditError::PrunedGap {
+            base: peer.base_height(),
+            need: anchor_height,
+        });
+    };
+    if anchor_block.state_digest != anchor_store.state_digest() {
+        return Err(AuditError::Corrupt(format!(
+            "checkpoint snapshot does not match the anchor block's state at height {anchor_height}"
+        )));
+    }
+    let mut store = anchor_store;
+    for h in (anchor_height + 1)..=peer.head_height() {
+        let block = peer.block(h).expect("suffix retained past the anchor");
+        let ops: Vec<rdb_store::Operation> = block.batch.batch.operations().cloned().collect();
+        store.execute_batch(&ops);
+    }
+    let head = peer.block(peer.head_height()).expect("head present");
+    if peer.head_height() > anchor_height && head.state_digest != store.state_digest() {
+        return Err(AuditError::Corrupt(
+            "replayed suffix does not reach the head's recorded state".into(),
+        ));
     }
     Ok(store)
 }
@@ -208,5 +286,71 @@ mod tests {
         // transmute via serde-like reconstruction. For tests we re-create
         // by direct field access through a helper on Ledger.
         Ledger::from_blocks_unchecked(blocks)
+    }
+
+    /// A ledger of `n` write batches whose blocks record the real
+    /// post-execution state digests, plus the store states along the way.
+    fn executed_ledger(n: u64) -> (Ledger, Vec<KvStore>) {
+        let mut l = Ledger::new();
+        let mut store = KvStore::new();
+        let mut states = vec![store.clone()];
+        for i in 1..=n {
+            let sb = write_batch(i);
+            let ops: Vec<rdb_store::Operation> = sb.batch.operations().cloned().collect();
+            store.execute_batch(&ops);
+            l.append(sb, None, store.state_digest());
+            states.push(store.clone());
+        }
+        (l, states)
+    }
+
+    #[test]
+    fn compacted_peer_audits_from_the_anchor() {
+        let (cfg, crypto) = ctx();
+        let (full, _) = executed_ledger(8);
+        let mut peer = full.clone();
+        peer.compact(5);
+        assert!(audit_chain(&peer, None, &cfg, &crypto).is_ok());
+        // Against an uncompacted trusted prefix: overlap heights 5..=8.
+        assert!(audit_chain(&peer, Some(&full), &cfg, &crypto).is_ok());
+        // And the mirror image: a full peer against a compacted trusted.
+        assert!(audit_chain(&full, Some(&peer), &cfg, &crypto).is_ok());
+        // Full replay of a compacted peer is impossible.
+        let err = recover_from(&peer, None, &cfg, &crypto, KvStore::new()).unwrap_err();
+        assert!(matches!(err, AuditError::PrunedGap { base: 5, .. }));
+    }
+
+    #[test]
+    fn checkpoint_recovery_replays_only_the_suffix() {
+        let (cfg, crypto) = ctx();
+        let (full, states) = executed_ledger(9);
+        let mut peer = full.clone();
+        peer.compact(4);
+        // Restart from the checkpoint at height 4: its snapshot plus the
+        // peer's retained suffix reproduce the head state exactly.
+        let recovered =
+            recover_from_checkpoint(&peer, None, &cfg, &crypto, 4, states[4].clone()).unwrap();
+        assert_eq!(recovered.state_digest(), states[9].state_digest());
+        // A snapshot that does not match the anchor block is rejected.
+        let err =
+            recover_from_checkpoint(&peer, None, &cfg, &crypto, 4, KvStore::new()).unwrap_err();
+        assert!(matches!(err, AuditError::Corrupt(_)));
+    }
+
+    #[test]
+    fn recovery_gap_is_reported_when_peer_pruned_past_the_anchor() {
+        let (cfg, crypto) = ctx();
+        let (full, states) = executed_ledger(9);
+        let mut peer = full.clone();
+        peer.compact(7);
+        // Our last checkpoint is older than anything the peer retains.
+        let err =
+            recover_from_checkpoint(&peer, None, &cfg, &crypto, 4, states[4].clone()).unwrap_err();
+        assert_eq!(err, AuditError::PrunedGap { base: 7, need: 4 });
+        // Same for an audit whose whole trusted prefix was pruned away.
+        let mut old = full.clone();
+        old.replace_blocks(full.blocks()[..5].to_vec()); // head 4
+        let err = audit_chain(&peer, Some(&old), &cfg, &crypto).unwrap_err();
+        assert_eq!(err, AuditError::PrunedGap { base: 7, need: 4 });
     }
 }

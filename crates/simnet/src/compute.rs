@@ -55,6 +55,15 @@ pub struct PipelineModel {
     pub input_capacity: usize,
     /// What happens at the bound.
     pub input_overload: Overload,
+    /// Decisions between pipeline checkpoints — the virtual twin of the
+    /// fabric's `CheckpointConfig::interval`. At every boundary the
+    /// engine charges [`ComputeModel::checkpoint_ns`] on the dedicated
+    /// checkpoint horizon (off the worker's critical path, like the
+    /// fabric's checkpoint thread) and compacts any tracked ledger to
+    /// the boundary height. `0` (the default) disables the stage, so
+    /// every pre-checkpoint figure reproduction is unchanged byte for
+    /// byte.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for PipelineModel {
@@ -69,6 +78,7 @@ impl Default for PipelineModel {
             dedicated_execution: true,
             input_capacity: PipelineModel::input_capacity_for(100, 2),
             input_overload: Overload::Block,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -83,6 +93,7 @@ impl PipelineModel {
             dedicated_execution: false,
             input_capacity: 0,
             input_overload: Overload::Block,
+            checkpoint_interval: 0,
         }
     }
 
@@ -100,6 +111,13 @@ impl PipelineModel {
     pub fn with_input_queue(mut self, capacity: usize, overload: Overload) -> PipelineModel {
         self.input_capacity = capacity;
         self.input_overload = overload;
+        self
+    }
+
+    /// Enable the modeled checkpoint stage every `interval` decisions
+    /// (the fabric's `DeploymentBuilder::checkpoint_interval` twin).
+    pub fn with_checkpointing(mut self, interval: u64) -> PipelineModel {
+        self.checkpoint_interval = interval;
         self
     }
 
@@ -133,6 +151,10 @@ pub struct ComputeModel {
     pub send_ns: u64,
     /// Cost of executing one transaction against the store.
     pub exec_ns_per_txn: u64,
+    /// Cost of one pipeline checkpoint (snapshot digest + certification
+    /// bookkeeping + compaction), charged on the dedicated checkpoint
+    /// horizon when [`PipelineModel::checkpoint_interval`] is nonzero.
+    pub checkpoint_ns: u64,
 }
 
 impl Default for ComputeModel {
@@ -147,6 +169,10 @@ impl Default for ComputeModel {
             recv_ns: 8_000,
             send_ns: 6_000,
             exec_ns_per_txn: 2_000,
+            // ~the cost of digesting and broadcasting one compact state
+            // snapshot (a few signature-equivalents); only charged when
+            // the modeled checkpoint stage is enabled.
+            checkpoint_ns: 250_000,
         }
     }
 }

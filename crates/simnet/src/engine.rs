@@ -64,6 +64,9 @@ struct NodeState {
     input_queue: BinaryHeap<Reverse<SimTime>>,
     /// The dedicated execution core is busy until this instant.
     exec_free: SimTime,
+    /// The modeled checkpoint stage (off the execute stage, like the
+    /// fabric's checkpoint thread) is busy until this instant.
+    ckpt_free: SimTime,
     /// Intra-region NIC egress is busy until this instant.
     nic_free: SimTime,
     /// WAN egress aggregate is busy until this instant.
@@ -433,12 +436,36 @@ impl Engine {
                         state.exec_free = state.exec_free.max(cursor) + SimDuration(exec);
                     }
                     if let NodeId::Replica(rid) = node {
-                        *self.decided_counts.entry(rid).or_insert(0) += 1;
+                        let decided = {
+                            let e = self.decided_counts.entry(rid).or_insert(0);
+                            *e += 1;
+                            *e
+                        };
                         if rid == ReplicaId::new(0, 0) {
                             self.stats.observer_decisions += 1;
                             self.stats.observer_txns += decision.txn_count() as u64;
                         }
                         self.append_ledger(rid, &decision);
+                        // Checkpoint stage: at every interval boundary,
+                        // charge the snapshot/certification cost on the
+                        // dedicated checkpoint horizon (off the worker's
+                        // critical path, like the fabric's checkpoint
+                        // thread) and compact any tracked ledger to the
+                        // boundary — the virtual twin of quorum
+                        // stability, which in the fabric merely lags by
+                        // a delivery round trip.
+                        let k = model.pipeline.checkpoint_interval;
+                        if k > 0 && decided.is_multiple_of(k) {
+                            let cost = model.checkpoint_ns;
+                            let state = self.nodes.entry(node).or_default();
+                            state.ckpt_free = state.ckpt_free.max(cursor) + SimDuration(cost);
+                            self.stats.checkpoints += 1;
+                            if let Some(ledgers) = self.ledgers.as_mut() {
+                                if let Some(l) = ledgers.get_mut(&rid) {
+                                    l.compact(l.head_height());
+                                }
+                            }
+                        }
                     }
                 }
                 Action::RequestComplete { seq: _, txns } => {
@@ -855,6 +882,101 @@ mod tests {
         // dedicated core, past the worker's own busy horizon.
         assert!(staged_exec > staged_busy);
         assert_eq!(single_exec, SimTime::ZERO);
+    }
+
+    #[test]
+    fn modeled_checkpoint_stage_charges_off_worker_and_compacts() {
+        use crate::compute::PipelineModel;
+        use rdb_consensus::types::{ClientBatch, DecisionEntry, SignedBatch, Transaction};
+        use rdb_crypto::digest::Digest;
+
+        struct Decider {
+            id: ReplicaId,
+            seq: u64,
+        }
+        impl ReplicaProtocol for Decider {
+            fn id(&self) -> ReplicaId {
+                self.id
+            }
+            fn on_start(&mut self, _now: SimTime, _out: &mut Outbox) {}
+            fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: Message, out: &mut Outbox) {
+                self.seq += 1;
+                let client = rdb_common::ids::ClientId::new(0, 0);
+                let batch = ClientBatch {
+                    client,
+                    batch_seq: self.seq,
+                    txns: vec![Transaction {
+                        client,
+                        seq: self.seq,
+                        op: rdb_store::Operation::NoOp,
+                    }],
+                };
+                out.decided(Decision {
+                    seq: self.seq,
+                    entries: vec![DecisionEntry {
+                        origin: None,
+                        batch: SignedBatch {
+                            batch,
+                            pubkey: Default::default(),
+                            sig: Default::default(),
+                        },
+                    }],
+                    state_digest: Digest::of(&self.seq.to_le_bytes()),
+                });
+            }
+            fn on_timer(&mut self, _now: SimTime, _t: TimerKind, _out: &mut Outbox) {}
+        }
+
+        let run = |interval: u64| {
+            let topo = Topology::paper(&[Region::Oregon]);
+            let model = ComputeModel {
+                pipeline: PipelineModel::default().with_checkpointing(interval),
+                ..ComputeModel::default()
+            };
+            let mut e = Engine::new(topo, model.clone(), model, FaultState::default());
+            e.attach_ledgers();
+            let to = ReplicaId::new(0, 0);
+            e.add_replica(Box::new(Decider { id: to, seq: 0 }));
+            for i in 0..7u64 {
+                e.route(
+                    ReplicaId::new(0, 1).into(),
+                    to.into(),
+                    Message::Noop,
+                    SimTime(i * 1_000_000),
+                );
+            }
+            e.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            let state = &e.nodes[&NodeId::Replica(to)];
+            (
+                e.stats.checkpoints,
+                state.busy_until,
+                state.ckpt_free,
+                e.ledgers().unwrap()[&to].clone(),
+            )
+        };
+        let (off_ckpts, off_busy, off_ckpt_free, off_ledger) = run(0);
+        assert_eq!(off_ckpts, 0);
+        assert_eq!(off_ckpt_free, SimTime::ZERO);
+        assert_eq!(off_ledger.base_height(), 0, "no compaction when disabled");
+
+        let (on_ckpts, on_busy, on_ckpt_free, on_ledger) = run(3);
+        assert_eq!(on_ckpts, 2, "boundaries at decisions 3 and 6");
+        // The checkpoint stage hangs off execution: its cost lands on the
+        // dedicated horizon, never on the worker — the schedule of every
+        // figure reproduction is unchanged.
+        assert_eq!(on_busy, off_busy, "checkpointing must not touch the worker");
+        assert!(on_ckpt_free > SimTime::ZERO);
+        // Compaction tracked the boundaries; content is untouched.
+        assert_eq!(on_ledger.base_height(), 6);
+        assert_eq!(on_ledger.head_height(), off_ledger.head_height());
+        assert_eq!(on_ledger.head_hash(), off_ledger.head_hash());
+        for h in on_ledger.base_height()..=on_ledger.head_height() {
+            assert_eq!(
+                on_ledger.block(h).unwrap().hash(),
+                off_ledger.block(h).unwrap().hash(),
+                "retained block {h} diverged"
+            );
+        }
     }
 
     #[test]

@@ -256,6 +256,7 @@ impl Scenario {
             shed_msgs: stats.shed_msgs,
             blocked_s: stats.blocked_wait.as_secs_f64(),
             max_input_depth: stats.max_input_depth,
+            checkpoints: stats.checkpoints,
             events: engine.events_processed(),
             stats,
         };
@@ -301,6 +302,11 @@ pub struct RunMetrics {
     /// Deepest modeled input-queue backlog at any replica — bounded by
     /// `PipelineModel::input_capacity + 1` when a bound is set.
     pub max_input_depth: u64,
+    /// Pipeline checkpoints taken across all replicas (modeled stage).
+    /// Skipped in JSON output so figure reproductions stay byte-stable
+    /// against pre-checkpoint baselines.
+    #[serde(skip)]
+    pub checkpoints: u64,
     /// Events processed (simulation cost).
     pub events: u64,
     /// Raw statistics.

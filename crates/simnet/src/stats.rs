@@ -40,6 +40,9 @@ pub struct NetStats {
     /// Deepest modeled input-queue backlog observed at any replica; with
     /// a bound configured this never exceeds `input_capacity + 1`.
     pub max_input_depth: u64,
+    /// Pipeline checkpoints taken across all replicas (nonzero only when
+    /// `PipelineModel::checkpoint_interval` enables the modeled stage).
+    pub checkpoints: u64,
 }
 
 impl NetStats {

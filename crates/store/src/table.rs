@@ -194,19 +194,34 @@ impl KvStore {
         self.execute_inner(op, false)
     }
 
+    /// The XOR fold of every record's digest — the ground truth the
+    /// incremental `accum` tracks. O(records).
+    fn compute_accum(&self) -> [u8; 32] {
+        let mut acc = [0u8; 32];
+        for (key, (value, version)) in &self.records {
+            let d = Self::record_digest(*key, value, *version);
+            for (a, b) in acc.iter_mut().zip(d.iter()) {
+                *a ^= b;
+            }
+        }
+        acc
+    }
+
+    /// Audit the incremental fingerprint against a from-scratch rebuild:
+    /// `true` iff [`KvStore::state_digest`] currently reflects the full
+    /// table. O(records); used to validate checkpoint snapshots before
+    /// they become recovery anchors (a snapshot taken after
+    /// [`KvStore::execute_unfingerprinted`] without a rebuild would
+    /// certify a stale digest).
+    pub fn verify_fingerprint(&self) -> bool {
+        self.compute_accum() == self.accum
+    }
+
     /// Recompute the state fingerprint from the full table, restoring
     /// [`KvStore::state_digest`] correctness after a run of
     /// [`KvStore::execute_unfingerprinted`]. O(records).
     pub fn rebuild_fingerprint(&mut self) {
-        self.accum = [0u8; 32];
-        let digests: Vec<[u8; 32]> = self
-            .records
-            .iter()
-            .map(|(key, (value, version))| Self::record_digest(*key, value, *version))
-            .collect();
-        for d in &digests {
-            self.xor_accum(d);
-        }
+        self.accum = self.compute_accum();
     }
 
     fn execute_inner(&mut self, op: &Operation, fingerprint: bool) -> ExecOutcome {
@@ -297,6 +312,24 @@ mod tests {
         assert_eq!(a.get(3), b.get(3));
         assert_eq!(a.version(3), b.version(3));
         assert_eq!(a.applied_txns(), b.applied_txns());
+    }
+
+    #[test]
+    fn fingerprint_audit_detects_staleness() {
+        let mut s = KvStore::with_ycsb_records(50);
+        assert!(s.verify_fingerprint(), "fresh preload is live");
+        s.execute(&Operation::Write {
+            key: 1,
+            value: Value::from_u64(7),
+        });
+        assert!(s.verify_fingerprint(), "fingerprinted writes stay live");
+        s.execute_unfingerprinted(&Operation::Write {
+            key: 2,
+            value: Value::from_u64(8),
+        });
+        assert!(!s.verify_fingerprint(), "deferred write left it stale");
+        s.rebuild_fingerprint();
+        assert!(s.verify_fingerprint());
     }
 
     #[test]

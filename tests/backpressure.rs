@@ -17,11 +17,15 @@ const REPLICAS: u64 = 4;
 
 /// Flood a 4-replica PBFT cluster with 16 closed-loop clients against a
 /// 12-envelope shedding input bound — offered load far past what the
-/// queues admit. Shedding is recovered by retransmission, so the
-/// deployment runs with fast protocol timeouts: within the window,
+/// queues admit — with the checkpoint stage running (interval 4), so
+/// stable-state garbage collection is exercised under exactly the
+/// overload it exists for. Shedding is recovered by retransmission, so
+/// the deployment runs with fast protocol timeouts: within the window,
 /// client retries re-drive any instance whose messages were shed
 /// (without them, a fully shed instance would just stay stalled — which
-/// on a loaded CI host can be every instance).
+/// on a loaded CI host can be every instance). Checkpoint votes are
+/// non-droppable and delivered with the never-parking hold-and-retry
+/// send, so the flood cannot lose or deadlock them.
 fn flooded() -> resilientdb::DeploymentReport {
     DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
         .batch_size(5)
@@ -29,6 +33,7 @@ fn flooded() -> resilientdb::DeploymentReport {
         .records(500)
         .verifier_threads(2)
         .input_queue(QueuePolicy::shed(INPUT_CAP))
+        .checkpoint_interval(4)
         .fast_timeouts()
         .duration(Duration::from_millis(1_500))
         .run()
@@ -81,6 +86,38 @@ fn flooded_replica_bounds_queues_and_keeps_agreement() {
     report
         .audit_execution_stage()
         .expect("materialized tables match ledger heads");
+
+    // 5. Checkpointing under flood: any replica that reached a stable
+    //    checkpoint must also have pruned the consensus ledger behind
+    //    its recovery anchor — stable-state lag does not grow with the
+    //    flood (the Looking-Glass failure mode the stage exists for).
+    //    (A starved backup whose votes were all delayed can legitimately
+    //    end the short window without a second stable checkpoint; the
+    //    deepest replica is asserted below.)
+    let best = report
+        .checkpoints
+        .iter()
+        .max_by_key(|(_, c)| c.stable_height)
+        .expect("checkpoint stage ran");
+    assert!(
+        best.1.stable_height > 0,
+        "no replica certified a checkpoint under flood"
+    );
+    for (rid, ckpt) in &report.checkpoints {
+        let ledger = &report.ledgers[rid];
+        if ckpt.certified.len() >= 2 {
+            assert!(
+                ledger.base_height() > 0,
+                "replica {rid} certified {} checkpoints but never pruned",
+                ckpt.certified.len()
+            );
+        }
+        assert!(
+            ckpt.tracked <= 64,
+            "replica {rid} tracker grew to {} in-flight checkpoints",
+            ckpt.tracked
+        );
+    }
 }
 
 #[test]
@@ -107,6 +144,75 @@ fn blocking_input_policy_never_sheds() {
     );
     assert!(report.completed_batches > 0, "{}", report.summary());
     report.audit_ledgers().expect("ledgers consistent");
+}
+
+#[test]
+fn slow_checkpoint_stage_throttles_execution_and_bounds_stable_lag() {
+    // Fault injection: every checkpoint snapshot is artificially slowed
+    // inside the checkpoint thread. Because the checkpoint queue is
+    // Block-policy (checkpoints are not retransmittable), the executor
+    // parks on the full queue instead of letting stable-state lag grow
+    // without bound: the wait must show up as `blocked_ns` on the
+    // checkpoint stage, and every replica's exec-to-stable lag must stay
+    // within the queue's capacity worth of checkpoint intervals.
+    const K: u64 = 2;
+    const CKPT_CAP: usize = 2;
+    // Small work/exec queues keep the *shutdown drain* bounded too: when
+    // the pipeline stops, the worker and executor drain their queues
+    // after the verifiers (and with them, inbound peer votes) are gone,
+    // so the stable watermark freezes while the head still advances by
+    // up to the drained backlog.
+    const ORDER_CAP: u64 = 8;
+    const EXEC_CAP: u64 = 2;
+    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(5)
+        .clients(4)
+        .records(300)
+        .checkpoint_interval(K)
+        .checkpoint_queue(QueuePolicy::block(CKPT_CAP))
+        .order_queue(QueuePolicy::block(ORDER_CAP as usize))
+        .exec_queue(QueuePolicy::block(EXEC_CAP as usize))
+        .checkpoint_fault_delay(Duration::from_millis(5))
+        .duration(Duration::from_millis(1_500))
+        .run();
+
+    // Progress despite the throttle, with agreement intact.
+    assert!(report.completed_batches > 0, "{}", report.summary());
+    report.audit_ledgers().expect("ledgers consistent");
+    report
+        .audit_execution_stage()
+        .expect("materialized tables match ledger heads");
+
+    let row = report.stages.row(Stage::Checkpoint);
+    assert!(row.processed > 0, "{}", report.stages.summary());
+    assert!(
+        !row.blocked.is_zero(),
+        "the slowed checkpoint stage never pushed back on execution: {}",
+        report.stages.summary()
+    );
+
+    // Bounded exec-to-stable lag. Steady state: the executor can run at
+    // most the queued snapshots (capacity), the one inside the slow
+    // thread, the one it is parked on, plus one interval in progress,
+    // past the last locally snapshotted height — and stability trails
+    // that by a vote round trip through the (equally throttled) peers,
+    // worth one more capacity. Shutdown adds the drained worker/executor
+    // backlogs (no votes arrive once the verifiers exit).
+    let bound = K * (2 * CKPT_CAP as u64 + 4) + ORDER_CAP + EXEC_CAP + K;
+    for (rid, ckpt) in &report.checkpoints {
+        assert!(
+            ckpt.stable_height > 0,
+            "replica {rid} never reached a stable checkpoint"
+        );
+        let head = report.ledgers[rid].head_height();
+        let lag = head - ckpt.stable_height.min(head);
+        assert!(
+            lag <= bound,
+            "replica {rid}: exec-to-stable lag {lag} exceeds bound {bound} \
+             (head {head}, stable {})",
+            ckpt.stable_height
+        );
+    }
 }
 
 #[test]

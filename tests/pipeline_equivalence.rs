@@ -166,6 +166,122 @@ fn saturated_bounded_queues_commit_identical_ledgers() {
 }
 
 #[test]
+fn checkpoint_compaction_preserves_ledger_equivalence_under_saturation() {
+    // Both runtimes run the checkpoint stage (interval 2) — the fabric
+    // additionally under tiny lossless Block bounds on every queue, so
+    // compaction and backpressure interact. The fabric certifies each
+    // stable checkpoint with the anchor *block hash*, which binds the
+    // entire chain prefix below it: every certified anchor that falls in
+    // the simulator's retained window must carry the exact hash and
+    // state digest the simulator's (independently compacted) ledger
+    // records — byte-identical committed ledgers, proven through the
+    // compaction machinery itself.
+    use rdb_simnet::{Overload, PipelineModel};
+    use resilientdb::QueuePolicy;
+    const K: u64 = 2;
+
+    let sim_run = |checkpointing: bool| {
+        let mut s = rdb_simnet::Scenario::paper(ProtocolKind::Pbft, 1, 4).quick();
+        s.cfg.exec_mode = ExecMode::Real;
+        s.cfg.batch_size = BATCH;
+        s.real_exec_records = RECORDS;
+        s.track_ledgers = true;
+        s.seed = SEED;
+        s.logical_clients = BATCH;
+        s.ycsb = rdb_workload::ycsb::YcsbConfig {
+            record_count: RECORDS,
+            batch_size: BATCH,
+            ..rdb_workload::ycsb::YcsbConfig::default()
+        };
+        s.compute.pipeline = PipelineModel::with_verifiers(2)
+            .with_input_queue(6, Overload::Block)
+            .with_checkpointing(if checkpointing { K } else { 0 });
+        let (metrics, ledgers) = s.run_full();
+        assert!(metrics.completed_batches > 0, "simnet made no progress");
+        assert_eq!(metrics.checkpoints > 0, checkpointing);
+        ledgers
+            .expect("ledgers tracked")
+            .remove(&ReplicaId::new(0, 0))
+            .expect("observer replica ledger")
+    };
+    // The modeled checkpoint stage charges off the worker's critical
+    // path, so the committed chain is identical with and without it —
+    // the compacted run's retained suffix must be byte-identical to the
+    // full run's blocks, and the full run gives us every height the
+    // (much slower, saturated) fabric will certify.
+    let sim_full = sim_run(false);
+    let sim = sim_run(true);
+    assert!(sim.base_height() > 0, "simnet compaction never ran");
+    assert_eq!(
+        sim.head_hash(),
+        sim_full.head_hash(),
+        "checkpointing changed the schedule"
+    );
+    for h in sim.base_height()..=sim.head_height() {
+        assert_eq!(
+            sim.block(h).unwrap().hash(),
+            sim_full.block(h).unwrap().hash(),
+            "compacted suffix diverged at {h}"
+        );
+    }
+
+    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(BATCH)
+        .clients(1)
+        .records(RECORDS)
+        .seed(SEED)
+        .checkpoint_interval(K)
+        .input_queue(QueuePolicy::block(6))
+        .order_queue(QueuePolicy::block(8))
+        .exec_queue(QueuePolicy::block(2))
+        .checkpoint_queue(QueuePolicy::block(2))
+        .output_queue(QueuePolicy::block(8))
+        .duration(Duration::from_millis(1_500))
+        .run();
+    assert!(report.completed_batches > 0, "{}", report.summary());
+    report.audit_ledgers().expect("fabric ledgers consistent");
+    report
+        .audit_execution_stage()
+        .expect("materialized tables match ledger heads");
+
+    let observer = ReplicaId::new(0, 0);
+    let fabric = &report.ledgers[&observer];
+    assert!(
+        fabric.base_height() > 0,
+        "fabric compaction never ran (stable {})",
+        report.checkpoints[&observer].stable_height
+    );
+
+    // Every anchor the fabric quorum certified inside the simulator's
+    // chain must match it byte for byte: the anchor block hash binds the
+    // whole prefix below it, so one matching anchor proves the entire
+    // committed history up to that height is identical across runtimes.
+    let ckpt = &report.checkpoints[&observer];
+    assert!(!ckpt.certified.is_empty(), "fabric never certified");
+    let mut compared = 0;
+    for (height, state, hash) in &ckpt.certified {
+        let Some(block) = sim_full.block(*height) else {
+            break; // the fabric outran the simulated window
+        };
+        assert_eq!(block.hash(), *hash, "anchor hash divergence at {height}");
+        assert_eq!(
+            block.state_digest, *state,
+            "certified state divergence at {height}"
+        );
+        compared += 1;
+    }
+    assert!(
+        compared > 0,
+        "no certified anchor fell inside the simnet chain (head {})",
+        sim_full.head_height()
+    );
+    // The checkpoint stage really ran under pressure on every replica.
+    use rdb_consensus::stage::Stage;
+    let row = report.stages.row(Stage::Checkpoint);
+    assert!(row.processed > 0, "{}", report.stages.summary());
+}
+
+#[test]
 fn staged_pipeline_reports_stage_flow() {
     use rdb_consensus::stage::Stage;
     let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
