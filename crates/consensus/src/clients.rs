@@ -39,6 +39,48 @@ pub enum TargetPolicy {
 /// workload generator (`rdb-workload`).
 pub type BatchSource = Box<dyn FnMut(u64) -> ClientBatch + Send>;
 
+/// The replica a fresh request from `id` goes to under `policy` (given
+/// the client's current primary hint). Shared by [`QuorumClient`] and the
+/// fabric's open-loop client sessions, so both enter the system through
+/// the same admission edge.
+pub fn entry_target(
+    policy: TargetPolicy,
+    sys: &rdb_common::config::SystemConfig,
+    id: ClientId,
+    view_hint: u64,
+) -> ReplicaId {
+    match policy {
+        TargetPolicy::GlobalPrimary => {
+            let members: Vec<ReplicaId> = sys.all_replicas().collect();
+            members[(view_hint % members.len() as u64) as usize]
+        }
+        TargetPolicy::LocalPrimary => sys.primary_of(id.cluster, view_hint),
+        TargetPolicy::HomeReplica => {
+            let members: Vec<ReplicaId> = sys.all_replicas().collect();
+            members[(id.index as usize) % members.len()]
+        }
+        TargetPolicy::LocalRepresentative => ReplicaId {
+            cluster: id.cluster,
+            index: 0,
+        },
+    }
+}
+
+/// The retransmission broadcast set of a client under `policy`: its local
+/// cluster for topology-aware protocols, everyone for global ones.
+pub fn retry_targets(
+    policy: TargetPolicy,
+    sys: &rdb_common::config::SystemConfig,
+    id: ClientId,
+) -> Vec<ReplicaId> {
+    match policy {
+        TargetPolicy::GlobalPrimary | TargetPolicy::HomeReplica => sys.all_replicas().collect(),
+        TargetPolicy::LocalPrimary | TargetPolicy::LocalRepresentative => {
+            sys.replicas_of(id.cluster).collect()
+        }
+    }
+}
+
 /// In-flight request state.
 struct Outstanding {
     seq: u64,
@@ -92,34 +134,13 @@ impl QuorumClient {
 
     /// The replica a fresh request goes to under the current policy.
     fn entry_target(&self) -> ReplicaId {
-        let sys = &self.cfg.system;
-        match self.policy {
-            TargetPolicy::GlobalPrimary => {
-                let members: Vec<ReplicaId> = sys.all_replicas().collect();
-                members[(self.view_hint % members.len() as u64) as usize]
-            }
-            TargetPolicy::LocalPrimary => sys.primary_of(self.id.cluster, self.view_hint),
-            TargetPolicy::HomeReplica => {
-                let members: Vec<ReplicaId> = sys.all_replicas().collect();
-                members[(self.id.index as usize) % members.len()]
-            }
-            TargetPolicy::LocalRepresentative => ReplicaId {
-                cluster: self.id.cluster,
-                index: 0,
-            },
-        }
+        entry_target(self.policy, &self.cfg.system, self.id, self.view_hint)
     }
 
     /// The retransmission broadcast set: local cluster for topology-aware
     /// protocols, everyone for global ones.
     fn retry_targets(&self) -> Vec<ReplicaId> {
-        let sys = &self.cfg.system;
-        match self.policy {
-            TargetPolicy::GlobalPrimary | TargetPolicy::HomeReplica => sys.all_replicas().collect(),
-            TargetPolicy::LocalPrimary | TargetPolicy::LocalRepresentative => {
-                sys.replicas_of(self.id.cluster).collect()
-            }
-        }
+        retry_targets(self.policy, &self.cfg.system, self.id)
     }
 }
 
@@ -197,7 +218,9 @@ impl ClientProtocol for QuorumClient {
         let msg = Message::Request(outst.signed.clone());
         let targets = self.retry_targets();
         out.multicast(targets, &msg);
-        self.retry_timeout = self.retry_timeout.doubled();
+        // Exponential back-off, capped: unbounded doubling would let a
+        // long outage push the next retransmission arbitrarily far out.
+        self.retry_timeout = self.retry_timeout.doubled().min(self.cfg.client_retry_cap);
         out.set_timer(TimerKind::ClientRetry { seq }, self.retry_timeout);
     }
 }
@@ -249,7 +272,10 @@ mod tests {
             data: ReplyData {
                 client: ClientId::new(1, 5),
                 batch_seq: seq,
+                seq: seq + 1,
+                block_height: seq + 1,
                 result_digest: digest,
+                results: rdb_store::TxnEffect::default(),
                 txns: 3,
             },
             view: 0,
@@ -375,6 +401,28 @@ mod tests {
         let mut out = Outbox::new();
         c.on_timer(SimTime::ZERO, TimerKind::ClientRetry { seq: 0 }, &mut out);
         assert_eq!(c.retry_timeout, t1.doubled());
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_at_the_configured_ceiling() {
+        let mut c = client(TargetPolicy::LocalPrimary, 2);
+        let cap = c.cfg.client_retry_cap;
+        assert!(c.cfg.client_retry < cap, "test needs headroom to double");
+        let mut out = Outbox::new();
+        c.next_request(SimTime::ZERO, &mut out);
+        out.take();
+        // Far more firings than needed to overflow an uncapped doubling
+        // of the 4 s base past 60 s (2^40 · 4 s otherwise).
+        for _ in 0..40 {
+            let mut out = Outbox::new();
+            c.on_timer(SimTime::ZERO, TimerKind::ClientRetry { seq: 0 }, &mut out);
+            assert!(c.retry_timeout <= cap, "back-off exceeded the ceiling");
+        }
+        assert_eq!(c.retry_timeout, cap, "back-off settles at the ceiling");
+        // And stays there.
+        let mut out = Outbox::new();
+        c.on_timer(SimTime::ZERO, TimerKind::ClientRetry { seq: 0 }, &mut out);
+        assert_eq!(c.retry_timeout, cap);
     }
 
     #[test]

@@ -91,6 +91,12 @@ pub struct ProtocolConfig {
     pub remote_timeout: SimDuration,
     /// Client retransmission timeout.
     pub client_retry: SimDuration,
+    /// Ceiling on the client's exponential retransmission back-off: each
+    /// timeout doubles `client_retry` but never past this cap. Unbounded
+    /// doubling would make a client that raced through a few timeouts
+    /// (e.g. across a long partition) effectively stop retransmitting —
+    /// capped, it keeps probing the replicas at a bounded cadence.
+    pub client_retry_cap: SimDuration,
     /// Zyzzyva: how long a client waits for all `n` speculative responses
     /// before falling back to the commit phase.
     pub spec_window: SimDuration,
@@ -112,6 +118,11 @@ impl ProtocolConfig {
             progress_timeout: SimDuration::from_millis(2_000),
             remote_timeout: SimDuration::from_millis(1_500),
             client_retry: SimDuration::from_millis(4_000),
+            // 4 s base: 4 doublings reach the minute-scale cap — far
+            // beyond any experiment window, so figure reproductions are
+            // unaffected, but a real deployment's retry cadence stays
+            // bounded.
+            client_retry_cap: SimDuration::from_secs(60),
             spec_window: SimDuration::from_millis(150),
             fanout_override: None,
         }

@@ -4,47 +4,74 @@ use crate::config::ExecMode;
 use crate::types::SignedBatch;
 use rdb_crypto::digest::Digest;
 use rdb_crypto::sha256::Sha256;
-use rdb_store::KvStore;
+use rdb_store::{KvStore, TxnEffect};
+
+/// The canonical digest of one batch's execution effect: a hash binding
+/// the batch digest to every per-operation outcome, in order. Replicas
+/// include it in client replies; clients match `f + 1` identical ones
+/// (§2.4). Because the digest is recomputable from `(batch digest,
+/// results)`, a client session can also reject a reply whose carried
+/// `results` payload does not hash to its claimed `result_digest` — a
+/// Byzantine replica cannot smuggle forged read values under an honest
+/// digest.
+pub fn result_digest(batch_digest: &Digest, effect: &TxnEffect) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"exec-real");
+    h.update(batch_digest.as_bytes());
+    for outcome in &effect.outcomes {
+        match outcome {
+            rdb_store::ExecOutcome::Done => {
+                h.update(&[0u8]);
+            }
+            rdb_store::ExecOutcome::ReadValue(v) => {
+                h.update(&[1u8]);
+                if let Some(v) = v {
+                    h.update(&v.0);
+                }
+            }
+            rdb_store::ExecOutcome::Counter(c) => {
+                h.update(&[2u8]);
+                h.update(&c.to_le_bytes());
+            }
+            rdb_store::ExecOutcome::Scanned(n) => {
+                h.update(&[3u8]);
+                h.update(&n.to_le_bytes());
+            }
+        }
+    }
+    Digest(h.finalize())
+}
 
 /// Execute `batch` against `store` (or model it) and return the *result
-/// digest* included in client replies. Determinism across replicas is what
+/// digest* included in client replies together with the per-transaction
+/// outcomes the reply now carries. Determinism across replicas is what
 /// lets clients match `f + 1` identical replies (§2.4).
-pub fn execute_batch(store: &mut KvStore, mode: ExecMode, sb: &SignedBatch) -> Digest {
+///
+/// Under [`ExecMode::Modeled`] no store is touched and the outcome list
+/// is empty; the digest stays the historical modeled constant so figure
+/// reproductions are byte-identical to pre-API-redesign runs.
+pub fn execute_batch_with_results(
+    store: &mut KvStore,
+    mode: ExecMode,
+    sb: &SignedBatch,
+) -> (Digest, TxnEffect) {
     match mode {
         ExecMode::Real => {
             let effect = store.execute_batch(&sb.batch.operations().cloned().collect::<Vec<_>>());
-            let mut h = Sha256::new();
-            h.update(b"exec-real");
-            h.update(sb.digest().as_bytes());
-            for outcome in &effect.outcomes {
-                match outcome {
-                    rdb_store::ExecOutcome::Done => {
-                        h.update(&[0u8]);
-                    }
-                    rdb_store::ExecOutcome::ReadValue(v) => {
-                        h.update(&[1u8]);
-                        if let Some(v) = v {
-                            h.update(&v.0);
-                        }
-                    }
-                    rdb_store::ExecOutcome::Counter(c) => {
-                        h.update(&[2u8]);
-                        h.update(&c.to_le_bytes());
-                    }
-                    rdb_store::ExecOutcome::Scanned(n) => {
-                        h.update(&[3u8]);
-                        h.update(&n.to_le_bytes());
-                    }
-                }
-            }
-            Digest(h.finalize())
+            (result_digest(&sb.digest(), &effect), effect)
         }
         ExecMode::Modeled => {
             // No store mutation; the simulator charges the execution cost
             // in virtual time. The digest stays deterministic.
-            Digest::of_parts(&[b"exec-modeled", sb.digest().as_bytes()])
+            let d = Digest::of_parts(&[b"exec-modeled", sb.digest().as_bytes()]);
+            (d, TxnEffect::default())
         }
     }
+}
+
+/// [`execute_batch_with_results`] when only the digest is needed.
+pub fn execute_batch(store: &mut KvStore, mode: ExecMode, sb: &SignedBatch) -> Digest {
+    execute_batch_with_results(store, mode, sb).0
 }
 
 #[cfg(test)]
@@ -131,6 +158,34 @@ mod tests {
             execute_batch(&mut b2, ExecMode::Real, &ro)
         );
         let _ = d_fresh;
+    }
+
+    #[test]
+    fn reply_results_match_their_digest() {
+        let mut s = KvStore::with_ycsb_records(10);
+        let b = batch();
+        let (d, effect) = execute_batch_with_results(&mut s, ExecMode::Real, &b);
+        assert_eq!(result_digest(&b.digest(), &effect), d);
+        // The batch writes 42 then reads it back: the carried outcomes
+        // expose the read value end-to-end.
+        assert_eq!(
+            effect.outcomes,
+            vec![
+                rdb_store::ExecOutcome::Done,
+                rdb_store::ExecOutcome::ReadValue(Some(Value::from_u64(42)))
+            ]
+        );
+        // Tampered results no longer hash to the claimed digest.
+        let mut forged = effect.clone();
+        forged.outcomes[1] = rdb_store::ExecOutcome::ReadValue(Some(Value::from_u64(7)));
+        assert_ne!(result_digest(&b.digest(), &forged), d);
+    }
+
+    #[test]
+    fn modeled_execution_carries_no_results() {
+        let mut s = KvStore::with_ycsb_records(10);
+        let (_, effect) = execute_batch_with_results(&mut s, ExecMode::Modeled, &batch());
+        assert!(effect.outcomes.is_empty());
     }
 
     #[test]

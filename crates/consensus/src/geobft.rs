@@ -26,7 +26,7 @@ use crate::api::{Outbox, ReplicaProtocol, TimerKind};
 use crate::certificate::{CommitCertificate, CommitSig};
 use crate::config::ProtocolConfig;
 use crate::crypto_ctx::CryptoCtx;
-use crate::exec::execute_batch;
+use crate::exec::execute_batch_with_results;
 use crate::messages::{Message, Scope};
 use crate::pbft_core::{CoreEvent, PbftCore};
 use crate::types::{Decision, DecisionEntry, ReplyData, SignedBatch};
@@ -368,15 +368,22 @@ impl GeoBftReplica {
             }
             let mut map = self.certs.remove(&round).expect("checked above");
             let mut entries = Vec::with_capacity(z);
-            for c in self.cfg.system.cluster_ids() {
+            for (idx, c) in self.cfg.system.cluster_ids().enumerate() {
                 let cert = map.remove(&c).expect("all certificates present");
-                let result = execute_batch(&mut self.store, self.cfg.exec_mode, &cert.batch);
+                let (result, results) =
+                    execute_batch_with_results(&mut self.store, self.cfg.exec_mode, &cert.batch);
                 // Replicas inform only their local clients (§2.4).
                 if c == self.my_cluster && !cert.batch.is_noop() {
                     let data = ReplyData {
                         client: cert.batch.batch.client,
                         batch_seq: cert.batch.batch.batch_seq,
+                        seq: round,
+                        // Each round appends z blocks, one per cluster in
+                        // cluster order (§2.4), so this batch lands at
+                        // rounds-before · z + its in-round position.
+                        block_height: self.executed_rounds * z as u64 + idx as u64 + 1,
                         result_digest: result,
+                        results,
                         txns: cert.batch.batch.len() as u32,
                     };
                     self.reply_cache

@@ -24,7 +24,7 @@
 use crate::api::{Outbox, ReplicaProtocol, TimerKind};
 use crate::config::ProtocolConfig;
 use crate::crypto_ctx::CryptoCtx;
-use crate::exec::execute_batch;
+use crate::exec::execute_batch_with_results;
 use crate::messages::{HsPhase, HsQc, Message};
 use crate::types::{Decision, DecisionEntry, ReplyData, SignedBatch};
 use rdb_common::ids::{ClientId, ClusterId, NodeId, ReplicaId};
@@ -536,12 +536,17 @@ impl HotStuffReplica {
             let slot = self.exec_next;
             self.exec_next += 1;
             self.executed_decisions += 1;
-            let result = execute_batch(&mut self.store, self.cfg.exec_mode, &batch);
+            let (result, results) =
+                execute_batch_with_results(&mut self.store, self.cfg.exec_mode, &batch);
             if !batch.is_noop() {
                 let data = ReplyData {
                     client: batch.batch.client,
                     batch_seq: batch.batch.batch_seq,
+                    seq: slot,
+                    // Slots execute strictly in order, one block each.
+                    block_height: self.executed_decisions,
                     result_digest: result,
+                    results,
                     txns: batch.batch.len() as u32,
                 };
                 self.reply_cache.insert(batch.batch.client, data.clone());

@@ -230,6 +230,11 @@ pub enum Message {
         history: Digest,
         /// Execution result digest.
         result: Digest,
+        /// Per-transaction execution outcomes (what `result` digests;
+        /// empty under modeled execution). Carried so the service API's
+        /// read-backs work on Zyzzyva too; the signature covers `result`,
+        /// and receivers validate `results` against it.
+        results: rdb_store::TxnEffect,
         /// Signature over the response (clients aggregate these).
         sig: Signature,
     },
@@ -565,7 +570,10 @@ mod tests {
             data: ReplyData {
                 client: ClientId::new(0, 0),
                 batch_seq: 0,
+                seq: 1,
+                block_height: 1,
                 result_digest: Digest::ZERO,
+                results: rdb_store::TxnEffect::default(),
                 txns: 100,
             },
             view: 0,

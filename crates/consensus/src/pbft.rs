@@ -11,7 +11,7 @@ use crate::api::{Outbox, ReplicaProtocol, TimerKind};
 use crate::certificate::CommitSig;
 use crate::config::ProtocolConfig;
 use crate::crypto_ctx::CryptoCtx;
-use crate::exec::execute_batch;
+use crate::exec::execute_batch_with_results;
 use crate::messages::{Message, Scope};
 use crate::pbft_core::{CoreEvent, PbftCore};
 use crate::types::{Decision, DecisionEntry, ReplyData, SignedBatch};
@@ -125,12 +125,19 @@ impl PbftReplica {
             self.exec_next += 1;
             self.executed_decisions += 1;
 
-            let result = execute_batch(&mut self.store, self.cfg.exec_mode, &batch);
+            let (result, results) =
+                execute_batch_with_results(&mut self.store, self.cfg.exec_mode, &batch);
             if !batch.is_noop() {
                 let data = ReplyData {
                     client: batch.batch.client,
                     batch_seq: batch.batch.batch_seq,
+                    seq,
+                    // One block per decision, executed strictly in order:
+                    // the ledger height of this batch is the number of
+                    // decisions executed so far.
+                    block_height: self.executed_decisions,
                     result_digest: result,
+                    results,
                     txns: batch.batch.len() as u32,
                 };
                 self.reply_cache.insert(batch.batch.client, data.clone());

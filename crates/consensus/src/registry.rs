@@ -57,6 +57,19 @@ pub fn reply_quorum(kind: ProtocolKind, cfg: &ProtocolConfig) -> usize {
     }
 }
 
+/// Where a client of `kind` sends fresh requests and retransmissions
+/// (see [`TargetPolicy`]). For Zyzzyva this is the policy of the session
+/// layer; the bespoke [`ZyzzyvaClient`] itself always targets the global
+/// primary.
+pub fn target_policy(kind: ProtocolKind) -> TargetPolicy {
+    match kind {
+        ProtocolKind::GeoBft => TargetPolicy::LocalPrimary,
+        ProtocolKind::Pbft | ProtocolKind::Zyzzyva => TargetPolicy::GlobalPrimary,
+        ProtocolKind::HotStuff => TargetPolicy::HomeReplica,
+        ProtocolKind::Steward => TargetPolicy::LocalRepresentative,
+    }
+}
+
 /// Build a client state machine for `kind`.
 pub fn build_client(
     kind: ProtocolKind,
@@ -67,39 +80,15 @@ pub fn build_client(
 ) -> Box<dyn ClientProtocol> {
     let quorum = reply_quorum(kind, &cfg);
     match kind {
-        ProtocolKind::GeoBft => Box::new(QuorumClient::new(
-            id,
-            cfg,
-            crypto,
-            TargetPolicy::LocalPrimary,
-            quorum,
-            source,
-        )),
-        ProtocolKind::Pbft => Box::new(QuorumClient::new(
-            id,
-            cfg,
-            crypto,
-            TargetPolicy::GlobalPrimary,
-            quorum,
-            source,
-        )),
-        ProtocolKind::HotStuff => Box::new(QuorumClient::new(
-            id,
-            cfg,
-            crypto,
-            TargetPolicy::HomeReplica,
-            quorum,
-            source,
-        )),
-        ProtocolKind::Steward => Box::new(QuorumClient::new(
-            id,
-            cfg,
-            crypto,
-            TargetPolicy::LocalRepresentative,
-            quorum,
-            source,
-        )),
         ProtocolKind::Zyzzyva => Box::new(ZyzzyvaClient::new(id, cfg, crypto, source)),
+        _ => Box::new(QuorumClient::new(
+            id,
+            cfg,
+            crypto,
+            target_policy(kind),
+            quorum,
+            source,
+        )),
     }
 }
 

@@ -30,7 +30,7 @@ use crate::api::{Outbox, ReplicaProtocol, TimerKind};
 use crate::certificate::CommitCertificate;
 use crate::config::ProtocolConfig;
 use crate::crypto_ctx::CryptoCtx;
-use crate::exec::execute_batch;
+use crate::exec::execute_batch_with_results;
 use crate::messages::{Message, Scope};
 use crate::pbft_core::{CoreEvent, PbftCore};
 use crate::types::{Decision, DecisionEntry, ReplyData, SignedBatch};
@@ -438,14 +438,20 @@ impl StewardReplica {
             let cert = inst.cert.expect("checked");
             self.exec_next += 1;
             self.executed_decisions += 1;
-            let result = execute_batch(&mut self.store, self.cfg.exec_mode, &cert.batch);
+            let (result, results) =
+                execute_batch_with_results(&mut self.store, self.cfg.exec_mode, &cert.batch);
             let client = cert.batch.batch.client;
             // Replicas of the client's own cluster reply.
             if client.cluster == self.my_cluster && !cert.batch.is_noop() {
                 let data = ReplyData {
                     client,
                     batch_seq: cert.batch.batch.batch_seq,
+                    seq,
+                    // Global sequence numbers execute strictly in order,
+                    // one block each.
+                    block_height: self.executed_decisions,
                     result_digest: result,
+                    results,
                     txns: cert.batch.batch.len() as u32,
                 };
                 self.reply_cache.insert(client, data.clone());

@@ -200,15 +200,38 @@ impl Decision {
 }
 
 /// The result a replica reports back to a client for one batch.
+///
+/// Since the client-service API redesign a reply carries the full
+/// execution outcome, not just its digest: the log position the batch
+/// committed at (`seq`), the ledger height of the block that carries it
+/// (`block_height`), and the per-transaction [`rdb_store::ExecOutcome`]s
+/// (`results`) — so a `Read` submitted through a
+/// `resilientdb` client session returns the actual value end-to-end.
+/// The modeled wire size was always calibrated for result-carrying
+/// replies (§4: ≈1.5 kB at batch 100), so it still derives from `txns`
+/// alone.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReplyData {
     /// The client the reply is for.
     pub client: ClientId,
     /// The client's batch sequence number being answered.
     pub batch_seq: u64,
+    /// The log position (consensus sequence number / GeoBFT round) the
+    /// batch committed at.
+    pub seq: u64,
+    /// Height of the ledger block carrying this batch (single-log
+    /// protocols append one block per decision; GeoBFT appends `z`
+    /// blocks per round, one per cluster in cluster order).
+    pub block_height: u64,
     /// Digest of the execution effect (clients match `f + 1` identical
-    /// ones, §2.4).
+    /// ones, §2.4). Always equals
+    /// [`crate::exec::result_digest`]`(batch_digest, &results)` for
+    /// honestly produced real-execution replies, which is how sessions
+    /// reject forged `results` payloads.
     pub result_digest: Digest,
+    /// Per-transaction execution outcomes, in batch order (empty under
+    /// [`crate::config::ExecMode::Modeled`], where no store is mutated).
+    pub results: rdb_store::TxnEffect,
     /// Number of transactions executed.
     pub txns: u32,
 }
@@ -307,7 +330,10 @@ mod tests {
         let r = ReplyData {
             client: ClientId::new(0, 0),
             batch_seq: 0,
+            seq: 1,
+            block_height: 1,
             result_digest: Digest::ZERO,
+            results: rdb_store::TxnEffect::default(),
             txns: 100,
         };
         assert_eq!(r.wire_size(), rdb_common::wire::response_bytes(100));

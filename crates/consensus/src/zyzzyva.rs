@@ -19,7 +19,7 @@ use crate::api::{ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
 use crate::clients::BatchSource;
 use crate::config::ProtocolConfig;
 use crate::crypto_ctx::CryptoCtx;
-use crate::exec::execute_batch;
+use crate::exec::execute_batch_with_results;
 use crate::messages::Message;
 use crate::types::{Decision, DecisionEntry, SignedBatch};
 use rdb_common::ids::{ClientId, NodeId, ReplicaId};
@@ -168,12 +168,15 @@ impl ZyzzyvaReplica {
             self.executed_decisions += 1;
             let digest = batch.digest();
             self.history = Digest::combine(&self.history, &digest);
-            let result = execute_batch(&mut self.store, self.cfg.exec_mode, &batch);
+            let (result, results) =
+                execute_batch_with_results(&mut self.store, self.cfg.exec_mode, &batch);
             let client = batch.batch.client;
             let batch_seq = batch.batch.batch_seq;
             self.executed
                 .insert(seq, (digest, self.history, client, batch_seq));
-            // Speculative response straight to the client, signed.
+            // Speculative response straight to the client, signed. The
+            // signature covers the result digest; the outcome list rides
+            // along unsigned and is validated against it by receivers.
             let sig = self.crypto.sign(&spec_response_payload(
                 self.view,
                 seq,
@@ -191,6 +194,7 @@ impl ZyzzyvaReplica {
                     digest,
                     history: self.history,
                     result,
+                    results,
                     sig,
                 },
             );
@@ -404,6 +408,7 @@ impl ClientProtocol for ZyzzyvaClient {
                 digest,
                 history,
                 result,
+                results: _,
                 sig,
             } => {
                 if batch_seq != outst.seq || resp_replica != replica {
@@ -501,7 +506,8 @@ impl ClientProtocol for ZyzzyvaClient {
                 }
                 let msg = Message::Request(outst.signed.clone());
                 out.send(self.primary(), msg);
-                self.retry_timeout = self.retry_timeout.doubled();
+                // Capped exponential back-off, like QuorumClient's.
+                self.retry_timeout = self.retry_timeout.doubled().min(self.cfg.client_retry_cap);
                 out.set_timer(TimerKind::ClientRetry { seq }, self.retry_timeout);
             }
             _ => {}

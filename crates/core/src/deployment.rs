@@ -1,12 +1,13 @@
 //! Full in-process deployments: build, run, measure, audit.
 
 use crate::metrics::{Metrics, StageSnapshot};
-use crate::node::{ClientRuntime, ReplicaRuntime};
+use crate::node::ReplicaRuntime;
 use crate::pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 use crate::queue::{QueuePolicy, StageQueues};
+use crate::service::Fabric;
 use crate::transport::{DelayFn, InProcTransport};
 use rdb_common::config::SystemConfig;
-use rdb_common::ids::{ClientId, NodeId, ReplicaId};
+use rdb_common::ids::{NodeId, ReplicaId};
 use rdb_common::time::SimDuration;
 use rdb_consensus::config::{ExecMode, ProtocolConfig, ProtocolKind};
 use rdb_consensus::crypto_ctx::CryptoCtx;
@@ -14,7 +15,7 @@ use rdb_consensus::registry;
 use rdb_crypto::sign::KeyStore;
 use rdb_ledger::Ledger;
 use rdb_store::KvStore;
-use rdb_workload::ycsb::{batch_source, YcsbConfig};
+use rdb_workload::ycsb::YcsbConfig;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -200,8 +201,14 @@ impl DeploymentBuilder {
         self
     }
 
-    /// Build, run for the configured duration, stop, and report.
-    pub fn run(mut self) -> DeploymentReport {
+    /// Boot the deployment and return a live [`Fabric`] handle: replicas
+    /// are up and serving, but no clients exist yet. Mint open-loop
+    /// sessions with [`Fabric::session`], add closed-loop YCSB load with
+    /// [`Fabric::spawn_ycsb_clients`], and collect the report with
+    /// [`Fabric::shutdown`]. The builder's `clients` / `duration`
+    /// settings only drive the [`DeploymentBuilder::run`] convenience
+    /// wrapper — `start` ignores them.
+    pub fn start(mut self) -> Fabric {
         // Queue defaults are derived from the *actual* batch size and
         // verifier fan-out of this deployment (not the builder defaults),
         // then per-stage overrides apply.
@@ -278,22 +285,6 @@ impl DeploymentBuilder {
             ));
         }
 
-        let mut clients = Vec::new();
-        for i in 0..self.clients {
-            let cid = ClientId::new((i % self.z) as u16, (i / self.z) as u32);
-            let signer = ks.register(cid.into());
-            let crypto = CryptoCtx::new(signer, ks.verifier(), self.check_sigs);
-            let source = batch_source(ycsb.clone(), cid, self.seed);
-            let protocol = registry::build_client(self.kind, cfg.clone(), cid, crypto, source);
-            let handle = transport.register(cid.into());
-            clients.push(ClientRuntime::spawn(
-                protocol,
-                handle,
-                metrics.clone(),
-                epoch,
-            ));
-        }
-
         // Schedule crashes.
         let mut crash_threads = Vec::new();
         for (replica, after) in self.crash_after.clone() {
@@ -304,50 +295,39 @@ impl DeploymentBuilder {
             }));
         }
 
-        std::thread::sleep(self.duration);
-
-        for c in clients {
-            c.stop();
-        }
-        let mut ledgers = HashMap::new();
-        let mut exec_state_digests = HashMap::new();
-        let mut checkpoints = HashMap::new();
-        for r in replicas {
-            let node = r.node();
-            let stopped = r.stop_full();
-            if let NodeId::Replica(rid) = node {
-                ledgers.insert(rid, stopped.ledger);
-                exec_state_digests.insert(rid, stopped.exec_digest);
-                if let Some(ckpt) = stopped.checkpoint {
-                    checkpoints.insert(rid, ckpt);
-                }
-            }
-        }
-        for t in crash_threads {
-            let _ = t.join();
-        }
-        transport.shutdown();
-
-        let elapsed = epoch.elapsed();
-        DeploymentReport {
+        Fabric {
             kind: self.kind,
             system,
-            crypto_sample: None,
+            cfg,
+            ycsb,
+            seed: self.seed,
+            check_sigs: self.check_sigs,
             pipeline: self.pipeline,
-            stages: metrics.stage_snapshot(),
-            elapsed,
-            throughput_txn_s: metrics.completed_txns() as f64 / elapsed.as_secs_f64(),
-            completed_batches: metrics.completed_batches(),
-            completed_txns: metrics.completed_txns(),
-            decided: metrics.decided(),
-            messages_sent: metrics.messages_sent(),
-            avg_latency: metrics.avg_latency(),
-            p99_latency: metrics.latency_percentile(0.99),
-            ledgers,
-            exec_state_digests,
-            checkpoints,
+            metrics,
+            transport,
+            keystore: ks,
+            epoch,
+            replicas,
+            clients: parking_lot::Mutex::new(Vec::new()),
+            sessions: parking_lot::Mutex::new(Vec::new()),
+            next_ycsb_client: std::sync::atomic::AtomicUsize::new(0),
+            next_session: std::sync::atomic::AtomicU32::new(0),
+            crash_threads,
             crashed: self.crash_after.iter().map(|(r, _)| *r).collect(),
         }
+    }
+
+    /// The classic closed-loop harness, now a thin driver over the
+    /// service API: [`DeploymentBuilder::start`], the configured number
+    /// of [`Fabric::spawn_ycsb_clients`], run for the configured
+    /// duration, [`Fabric::shutdown`], report.
+    pub fn run(self) -> DeploymentReport {
+        let clients = self.clients;
+        let duration = self.duration;
+        let fabric = self.start();
+        fabric.spawn_ycsb_clients(clients);
+        std::thread::sleep(duration);
+        fabric.shutdown()
     }
 }
 

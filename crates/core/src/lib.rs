@@ -66,18 +66,42 @@
 //! overload behavior observable; see [`queue`] for the full policy
 //! rationale (including why this is deadlock-free).
 //!
-//! Clients run closed-loop on their own threads. The
-//! [`deployment::DeploymentBuilder`] assembles a full system in-process —
-//! with real signatures, real execution against the YCSB store, and
-//! optionally injected WAN delays — and reports client-observed
+//! ## The client service API
+//!
+//! The fabric is a *service* (§2.1), not just a benchmark: clients
+//! submit transactions and receive the result of execution once `f + 1`
+//! replicas attest to the same outcome. [`service`] is that surface:
+//!
+//! ```text
+//! DeploymentBuilder::start() ─▶ Fabric ──▶ session(cluster) ─▶ ClientSession
+//!                                 │                               │ submit(ops)
+//!                                 │                               ▼
+//!                                 │            Ticket ── wait() ─▶ CommitProof
+//!                                 └─ shutdown() ─▶ DeploymentReport
+//! ```
+//!
+//! [`service::ClientSession::submit`] signs a batch and sends it through
+//! the replica's bounded input queue (a client `Request` is
+//! non-droppable, so an overloaded fabric *blocks the submitting
+//! thread* — admission control for free); the returned
+//! [`service::Ticket`] resolves to a [`service::CommitProof`] carrying
+//! the agreed log position, ledger height, result digest, the attesting
+//! replicas, and the per-transaction results — so a `Read` returns the
+//! committed value end-to-end.
+//!
+//! The classic closed-loop YCSB harness is a thin driver over the same
+//! API: [`deployment::DeploymentBuilder::run`] ≡ `start()` +
+//! [`service::Fabric::spawn_ycsb_clients`] + sleep +
+//! [`service::Fabric::shutdown`], reporting client-observed
 //! throughput/latency, per-stage pipeline counters and per-replica
-//! ledgers.
+//! ledgers exactly as before.
 
 pub mod deployment;
 pub mod metrics;
 pub mod node;
 pub mod pipeline;
 pub mod queue;
+pub mod service;
 pub mod transport;
 
 pub use deployment::{DeploymentBuilder, DeploymentReport};
@@ -85,4 +109,5 @@ pub use metrics::{Metrics, StageRow, StageSnapshot};
 pub use node::{ClientRuntime, ReplicaRuntime, ReplicaStopReport};
 pub use pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 pub use queue::{Overload, QueuePolicy, StageQueues};
+pub use service::{ClientSession, CommitProof, Fabric, Ticket};
 pub use transport::{Envelope, InProcTransport, TransportHandle, TransportSender};

@@ -1,25 +1,58 @@
 //! Quickstart: spin up a real, in-process ResilientDB deployment running
 //! GeoBFT — two clusters of four replicas on OS threads, real ED25519-style
-//! signatures, real YCSB execution — submit transactions from closed-loop
-//! clients, and inspect the resulting blockchain.
+//! signatures, real YCSB execution — drive it through the client service
+//! API, and inspect the resulting blockchain.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
+use rdb_common::ids::ClusterId;
 use rdb_consensus::config::ProtocolKind;
+use rdb_store::{ExecOutcome, Operation, Value};
 use resilientdb::DeploymentBuilder;
 use std::time::Duration;
 
 fn main() {
     println!("ResilientDB quickstart: GeoBFT, 2 clusters x 4 replicas, in-process\n");
 
-    let report = DeploymentBuilder::new(ProtocolKind::GeoBft, 2, 4)
+    // `start()` returns a live fabric: replicas are up, serving, and
+    // waiting for clients.
+    let fabric = DeploymentBuilder::new(ProtocolKind::GeoBft, 2, 4)
         .batch_size(10)
-        .clients(4)
         .records(10_000)
-        .duration(Duration::from_secs(2))
-        .run();
+        .start();
+
+    // One write and one read-back through an open-loop session — the
+    // programmatic surface (see examples/kv_service.rs for more).
+    let session = fabric.session(ClusterId(0));
+    let write = session
+        .submit_one(Operation::Write {
+            key: 99,
+            value: Value::from_u64(4242),
+        })
+        .wait();
+    println!(
+        "write committed: seq {}, block {}, {} attestations",
+        write.seq,
+        write.block_height,
+        write.quorum_size()
+    );
+    let read = session.submit_one(Operation::Read { key: 99 }).wait();
+    let ExecOutcome::ReadValue(Some(v)) = &read.results.outcomes[0] else {
+        panic!("read returns the committed value");
+    };
+    println!(
+        "read back:       counter {} (with f+1 proof)\n",
+        v.counter()
+    );
+
+    // The paper's closed-loop YCSB benchmark, riding the same API: attach
+    // workload clients, let them hammer the fabric, then shut down and
+    // collect the report.
+    fabric.spawn_ycsb_clients(4);
+    std::thread::sleep(Duration::from_secs(2));
+    let report = fabric.shutdown();
 
     println!("throughput:        {:>10.0} txn/s", report.throughput_txn_s);
     println!("completed batches: {:>10}", report.completed_batches);

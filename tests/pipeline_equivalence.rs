@@ -15,8 +15,19 @@ use rdb_consensus::config::{ExecMode, ProtocolKind};
 use rdb_ledger::Ledger;
 use rdb_simnet::Scenario;
 use rdb_workload::ycsb::YcsbConfig;
-use resilientdb::DeploymentBuilder;
+use resilientdb::{DeploymentBuilder, DeploymentReport};
 use std::time::Duration;
+
+/// The closed-loop YCSB harness, written out over the service API: boot
+/// the fabric, attach the workload clients, let it run, collect the
+/// report. `DeploymentBuilder::run()` is exactly this sequence; driving
+/// it explicitly here pins the harness-over-API contract.
+fn drive(builder: DeploymentBuilder, clients: usize, duration: Duration) -> DeploymentReport {
+    let fabric = builder.start();
+    fabric.spawn_ycsb_clients(clients);
+    std::thread::sleep(duration);
+    fabric.shutdown()
+}
 
 const SEED: u64 = 7;
 const RECORDS: u64 = 500;
@@ -48,14 +59,12 @@ fn simnet_ledger() -> Ledger {
 }
 
 /// The same deployment on the real staged pipeline.
-fn fabric_ledgers() -> resilientdb::DeploymentReport {
-    DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+fn fabric_ledgers() -> DeploymentReport {
+    let builder = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
         .batch_size(BATCH)
-        .clients(1)
         .records(RECORDS)
-        .seed(SEED)
-        .duration(Duration::from_millis(900))
-        .run()
+        .seed(SEED);
+    drive(builder, 1, Duration::from_millis(900))
 }
 
 #[test]
@@ -129,9 +138,8 @@ fn saturated_bounded_queues_commit_identical_ledgers() {
             .expect("observer replica ledger")
     };
 
-    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+    let builder = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
         .batch_size(BATCH)
-        .clients(1)
         .records(RECORDS)
         .seed(SEED)
         // One PBFT instance keeps ~n² + n ≈ 20 messages in flight; these
@@ -142,9 +150,8 @@ fn saturated_bounded_queues_commit_identical_ledgers() {
         .input_queue(QueuePolicy::block(6))
         .order_queue(QueuePolicy::block(8))
         .exec_queue(QueuePolicy::block(2))
-        .output_queue(QueuePolicy::block(8))
-        .duration(Duration::from_millis(1_200))
-        .run();
+        .output_queue(QueuePolicy::block(8));
+    let report = drive(builder, 1, Duration::from_millis(1_200));
     assert!(report.completed_batches > 0, "{}", report.summary());
     let common = report.audit_ledgers().expect("fabric ledgers consistent");
     report
@@ -225,9 +232,8 @@ fn checkpoint_compaction_preserves_ledger_equivalence_under_saturation() {
         );
     }
 
-    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+    let builder = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
         .batch_size(BATCH)
-        .clients(1)
         .records(RECORDS)
         .seed(SEED)
         .checkpoint_interval(K)
@@ -235,9 +241,8 @@ fn checkpoint_compaction_preserves_ledger_equivalence_under_saturation() {
         .order_queue(QueuePolicy::block(8))
         .exec_queue(QueuePolicy::block(2))
         .checkpoint_queue(QueuePolicy::block(2))
-        .output_queue(QueuePolicy::block(8))
-        .duration(Duration::from_millis(1_500))
-        .run();
+        .output_queue(QueuePolicy::block(8));
+    let report = drive(builder, 1, Duration::from_millis(1_500));
     assert!(report.completed_batches > 0, "{}", report.summary());
     report.audit_ledgers().expect("fabric ledgers consistent");
     report
@@ -284,13 +289,11 @@ fn checkpoint_compaction_preserves_ledger_equivalence_under_saturation() {
 #[test]
 fn staged_pipeline_reports_stage_flow() {
     use rdb_consensus::stage::Stage;
-    let report = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+    let builder = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
         .batch_size(BATCH)
-        .clients(2)
         .records(RECORDS)
-        .verifier_threads(4)
-        .duration(Duration::from_millis(600))
-        .run();
+        .verifier_threads(4);
+    let report = drive(builder, 2, Duration::from_millis(600));
     assert!(report.completed_batches > 0, "{}", report.summary());
     let stages = &report.stages;
     // Every stage saw traffic, in pipeline order.
@@ -311,13 +314,11 @@ fn staged_pipeline_reports_stage_flow() {
 #[test]
 fn wide_verifier_fanout_preserves_safety_and_progress() {
     // Reordering across 4 parallel verifiers must not break agreement.
-    let report = DeploymentBuilder::new(ProtocolKind::GeoBft, 2, 4)
+    let builder = DeploymentBuilder::new(ProtocolKind::GeoBft, 2, 4)
         .batch_size(BATCH)
-        .clients(2)
         .records(RECORDS)
-        .verifier_threads(4)
-        .duration(Duration::from_millis(900))
-        .run();
+        .verifier_threads(4);
+    let report = drive(builder, 2, Duration::from_millis(900));
     assert!(report.completed_batches > 0, "{}", report.summary());
     let blocks = report.audit_ledgers().expect("consistent ledgers");
     assert!(blocks >= 2, "expected at least one full GeoBFT round");
