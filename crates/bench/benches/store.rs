@@ -50,6 +50,61 @@ fn bench_batch_execution(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fingerprint-rebuild cost an unfingerprinted catch-up pays
+/// (recovery replay, lane-pool shutdown): the store tracks which of its
+/// internal shards a write dirtied, so `rebuild_fingerprint` rescans
+/// only those — against `rebuild_fingerprint_full`'s whole-table rescan,
+/// the pre-sharding behavior. A touch set that lands in one shard of a
+/// 100k-record table should rebuild roughly [`rdb_store::STORE_SHARDS`]×
+/// faster.
+fn bench_fingerprint_rebuild(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store-exec");
+    g.sample_size(20);
+    // Each iteration dirties one internal shard (64 writes to keys
+    // congruent mod STORE_SHARDS — the sparse-update shape checkpoint
+    // intervals produce), then rebuilds; the two variants differ only in
+    // the rescan, so their gap is the amortization.
+    for records in [10_000u64, 100_000] {
+        g.bench_with_input(
+            BenchmarkId::new("dirty-rescan", records),
+            &records,
+            |b, &records| {
+                let mut store = KvStore::with_ycsb_records(records);
+                let mut i = 0u64;
+                b.iter(|| {
+                    for _ in 0..64 {
+                        i += 1;
+                        store.execute_unfingerprinted(&Operation::Write {
+                            key: (i * rdb_store::STORE_SHARDS as u64) % records,
+                            value: Value::from_u64(i),
+                        });
+                    }
+                    store.rebuild_fingerprint()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full-rescan", records),
+            &records,
+            |b, &records| {
+                let mut store = KvStore::with_ycsb_records(records);
+                let mut i = 0u64;
+                b.iter(|| {
+                    for _ in 0..64 {
+                        i += 1;
+                        store.execute_unfingerprinted(&Operation::Write {
+                            key: (i * rdb_store::STORE_SHARDS as u64) % records,
+                            value: Value::from_u64(i),
+                        });
+                    }
+                    store.rebuild_fingerprint_full()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_workload_generation(c: &mut Criterion) {
     let cfg = YcsbConfig::default(); // 600 k records, batch 100
     let mut w = YcsbWorkload::new(cfg, ClientId::new(0, 0), 7);
@@ -66,6 +121,7 @@ criterion_group!(
     benches,
     bench_ops,
     bench_batch_execution,
+    bench_fingerprint_rebuild,
     bench_workload_generation
 );
 criterion_main!(benches);

@@ -36,6 +36,7 @@ pub struct DeploymentBuilder {
     client_retry: SimDuration,
     remote_timeout: SimDuration,
     pipeline: PipelineConfig,
+    exec_lanes: usize,
     input_queue: Option<QueuePolicy>,
     work_queue: Option<QueuePolicy>,
     exec_queue: Option<QueuePolicy>,
@@ -63,6 +64,7 @@ impl DeploymentBuilder {
             client_retry: SimDuration::from_millis(4_000),
             remote_timeout: SimDuration::from_millis(1_500),
             pipeline: PipelineConfig::default(),
+            exec_lanes: 1,
             input_queue: None,
             work_queue: None,
             exec_queue: None,
@@ -112,6 +114,19 @@ impl DeploymentBuilder {
     /// [`PipelineConfig::default`].
     pub fn verifier_threads(mut self, n: usize) -> Self {
         self.pipeline = PipelineConfig::with_verifiers(n);
+        self
+    }
+
+    /// Key-sharded execution lanes per replica (default 1: the original
+    /// sequential execute stage, and what every figure reproduction
+    /// uses). With `n > 1` the execute stage becomes a lane pool — key
+    /// `k` executes on lane `k % n`, decisions touching disjoint lanes
+    /// run in parallel, and a commit-order retirement step (bounded by
+    /// the exec queue's reorder window) keeps the ledger and audit
+    /// byte-identical to sequential execution. Clamped to
+    /// `1..=`[`rdb_store::MAX_LANES`].
+    pub fn exec_lanes(mut self, n: usize) -> Self {
+        self.exec_lanes = n.clamp(1, rdb_store::MAX_LANES);
         self
     }
 
@@ -230,6 +245,7 @@ impl DeploymentBuilder {
         }
         self.pipeline.queues = queues;
         self.pipeline.checkpoint = self.checkpoint;
+        self.pipeline.exec_lanes = self.exec_lanes;
 
         let system = SystemConfig::geo(self.z, self.n).expect("valid system");
         let mut cfg = ProtocolConfig::new(system.clone());
@@ -412,6 +428,20 @@ impl DeploymentReport {
         self.stages
             .row(rdb_consensus::stage::Stage::Order)
             .occupancy(self.elapsed, replicas)
+    }
+
+    /// Per-lane execution occupancy over the run: `(lane, busy fraction)`
+    /// rows from the lane pool (the sequential executor reports as a
+    /// single lane 0). Busy time is summed across replicas (all run the
+    /// same lane config), so it is normalized by the replica count like
+    /// [`DeploymentReport::worker_occupancy`].
+    pub fn exec_lane_occupancy(&self) -> Vec<(usize, f64)> {
+        let replicas = self.system.z() * self.system.n();
+        self.stages
+            .lanes
+            .iter()
+            .map(|l| (l.lane, l.occupancy(self.elapsed) / replicas as f64))
+            .collect()
     }
 
     /// The common committed prefix length across non-crashed replicas

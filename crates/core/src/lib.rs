@@ -105,7 +105,7 @@ pub mod service;
 pub mod transport;
 
 pub use deployment::{DeploymentBuilder, DeploymentReport};
-pub use metrics::{Metrics, StageRow, StageSnapshot};
+pub use metrics::{LaneRow, Metrics, StageRow, StageSnapshot};
 pub use node::{ClientRuntime, ReplicaRuntime, ReplicaStopReport};
 pub use pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 pub use queue::{Overload, QueuePolicy, StageQueues};

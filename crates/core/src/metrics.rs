@@ -45,6 +45,26 @@ impl Default for StageTable {
     }
 }
 
+/// Per-execution-lane counters (see `resilientdb::pipeline`'s lane pool).
+/// Lane footprints travel as `u64` bitmasks, so the table is fixed at
+/// [`rdb_store::MAX_LANES`] cells; only the first
+/// [`Metrics::exec_lanes`] are live.
+#[derive(Default)]
+struct LaneCell {
+    batches: AtomicU64,
+    ops: AtomicU64,
+    busy_ns: AtomicU64,
+    stall_ns: AtomicU64,
+}
+
+struct LaneTable([LaneCell; rdb_store::MAX_LANES]);
+
+impl Default for LaneTable {
+    fn default() -> Self {
+        LaneTable(std::array::from_fn(|_| LaneCell::default()))
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     completed_batches: AtomicU64,
@@ -53,6 +73,8 @@ struct Inner {
     messages_sent: AtomicU64,
     latencies_ns: Mutex<Vec<u64>>,
     stages: StageTable,
+    lanes: LaneTable,
+    exec_lanes: AtomicU64,
 }
 
 impl Inner {
@@ -157,6 +179,48 @@ impl Metrics {
         }
     }
 
+    // ------------------------------------------------ execution lanes --
+
+    /// Declare the execution-lane fan-out (the lane pool calls this once
+    /// per replica at spawn; a shared deployment-wide `Metrics` keeps the
+    /// maximum, since every replica runs the same lane config).
+    pub fn set_exec_lanes(&self, lanes: usize) {
+        let lanes = lanes.min(rdb_store::MAX_LANES) as u64;
+        self.inner.exec_lanes.fetch_max(lanes, Ordering::Relaxed);
+    }
+
+    /// Configured execution-lane fan-out (0 before any lane pool spawned;
+    /// sequential executors report 1).
+    pub fn exec_lanes(&self) -> usize {
+        self.inner.exec_lanes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Lane `lane` applied one lane-job of `ops` operations in `busy`.
+    pub fn lane_batch(&self, lane: usize, ops: u64, busy: Duration) {
+        let cell = &self.inner.lanes.0[lane % rdb_store::MAX_LANES];
+        cell.batches.fetch_add(1, Ordering::Relaxed);
+        cell.ops.fetch_add(ops, Ordering::Relaxed);
+        cell.busy_ns
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The retirement head waited `wait` on every lane in `mask` — the
+    /// conflict-stall cost of batches serialized on the same shard(s).
+    pub fn lane_stalled(&self, mask: u64, wait: Duration) {
+        let ns = wait.as_nanos() as u64;
+        if ns == 0 {
+            return;
+        }
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            self.inner.lanes.0[lane]
+                .stall_ns
+                .fetch_add(ns, Ordering::Relaxed);
+            m &= m - 1;
+        }
+    }
+
     /// Items currently queued before `stage` (enqueued minus finished).
     pub fn queue_depth(&self, stage: Stage) -> u64 {
         let cell = self.inner.cell(stage);
@@ -191,6 +255,17 @@ impl Metrics {
                         busy: Duration::from_nanos(cell.busy_ns.load(Ordering::Relaxed)),
                         blocked: Duration::from_nanos(cell.blocked_ns.load(Ordering::Relaxed)),
                     }
+                })
+                .collect(),
+            lanes: self.inner.lanes.0[..self.exec_lanes()]
+                .iter()
+                .enumerate()
+                .map(|(lane, cell)| LaneRow {
+                    lane,
+                    batches: cell.batches.load(Ordering::Relaxed),
+                    ops: cell.ops.load(Ordering::Relaxed),
+                    busy: Duration::from_nanos(cell.busy_ns.load(Ordering::Relaxed)),
+                    stalled: Duration::from_nanos(cell.stall_ns.load(Ordering::Relaxed)),
                 })
                 .collect(),
         }
@@ -245,6 +320,9 @@ impl Metrics {
 pub struct StageSnapshot {
     /// One row per [`Stage`], in pipeline order.
     pub rows: Vec<StageRow>,
+    /// One row per execution lane (empty until a lane pool — or the
+    /// sequential executor, which reports as one lane — has spawned).
+    pub lanes: Vec<LaneRow>,
 }
 
 impl StageSnapshot {
@@ -270,6 +348,24 @@ impl StageSnapshot {
                 );
                 if !r.blocked.is_zero() {
                     s.push_str(&format!(" blocked={:?}", r.blocked));
+                }
+                s
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// One-line per-lane summary (empty string when no lane pool ran).
+    pub fn lane_summary(&self) -> String {
+        self.lanes
+            .iter()
+            .map(|l| {
+                let mut s = format!(
+                    "lane{}: {}b/{}ops busy={:?}",
+                    l.lane, l.batches, l.ops, l.busy
+                );
+                if !l.stalled.is_zero() {
+                    s.push_str(&format!(" stalled={:?}", l.stalled));
                 }
                 s
             })
@@ -309,6 +405,32 @@ impl StageRow {
             return 0.0;
         }
         self.busy.as_secs_f64() / (elapsed.as_secs_f64() * threads as f64)
+    }
+}
+
+/// Counters of one execution lane.
+#[derive(Debug, Clone)]
+pub struct LaneRow {
+    /// Lane index (key `k` executes on lane `k % lanes`).
+    pub lane: usize,
+    /// Lane-jobs (per-decision work lists) this lane applied.
+    pub batches: u64,
+    /// Operations this lane applied.
+    pub ops: u64,
+    /// Accumulated apply time on the lane thread.
+    pub busy: Duration,
+    /// Accumulated time the commit-order retirement head spent waiting on
+    /// this lane — conflict-stall from batches serialized on its shards.
+    pub stalled: Duration,
+}
+
+impl LaneRow {
+    /// Fraction of `elapsed` this lane's thread spent applying.
+    pub fn occupancy(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / elapsed.as_secs_f64()
     }
 }
 

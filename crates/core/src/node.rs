@@ -270,6 +270,8 @@ impl ReplicaRuntime {
             exec_tracker,
             pipeline.checkpoint,
             queues.checkpoint,
+            pipeline.exec_lanes,
+            pipeline.reorder_window(),
             metrics.clone(),
         );
 

@@ -49,7 +49,8 @@ use rdb_consensus::stage::{Stage, VerifiedMessage};
 use rdb_consensus::types::Decision;
 use rdb_crypto::digest::Digest;
 use rdb_ledger::Ledger;
-use rdb_store::KvStore;
+use rdb_store::lanes::{self as store_lanes, LaneItem};
+use rdb_store::{KvStore, Operation};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -117,6 +118,13 @@ pub struct PipelineConfig {
     pub queues: StageQueues,
     /// Checkpoint stage configuration (disabled by default).
     pub checkpoint: CheckpointConfig,
+    /// Key-sharded execution lanes. `1` (the default) keeps the original
+    /// single-thread execute stage; `n > 1` spawns a lane pool where key
+    /// `k` executes on lane `k % n` and decisions touching disjoint lanes
+    /// proceed in parallel, bounded by a commit-order reorder window
+    /// derived from the exec queue's capacity (see the lane-pool section
+    /// below). Clamped to [`rdb_store::MAX_LANES`].
+    pub exec_lanes: usize,
 }
 
 impl Default for PipelineConfig {
@@ -134,6 +142,7 @@ impl Default for PipelineConfig {
             verify_batch: 16,
             queues: StageQueues::derive(10, verifier_threads),
             checkpoint: CheckpointConfig::default(),
+            exec_lanes: 1,
         }
     }
 }
@@ -148,6 +157,23 @@ impl PipelineConfig {
             queues: StageQueues::derive(10, n),
             ..PipelineConfig::default()
         }
+    }
+
+    /// Set the execution-lane fan-out (clamped to
+    /// `1..=`[`rdb_store::MAX_LANES`]).
+    pub fn with_exec_lanes(mut self, n: usize) -> PipelineConfig {
+        self.exec_lanes = n.clamp(1, rdb_store::MAX_LANES);
+        self
+    }
+
+    /// The commit-order reorder window of the lane pool: how many
+    /// decisions may be in flight (dispatched to lanes, not yet retired)
+    /// at once. Derived jointly with the exec queue's bound — the window
+    /// *is* the exec queue capacity, so out-of-order completion never
+    /// exceeds what the bounded-queue invariant already admits between
+    /// the worker and the execute stage.
+    pub fn reorder_window(&self) -> usize {
+        self.queues.exec.capacity.max(1)
     }
 }
 
@@ -342,75 +368,415 @@ fn verifier_loop(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_executor(
     node: NodeId,
-    mut store: KvStore,
+    store: KvStore,
     exec_rx: Receiver<Decision>,
     ledger: Arc<Mutex<Ledger>>,
     ckpt_tx: Option<Sender<CheckpointMsg>>,
     // The executor drives the tracker's decision/interval half; the
     // checkpoint thread owns a second instance for the vote/quorum half.
+    tracker: CheckpointTracker,
+    cfg: CheckpointConfig,
+    queue: QueuePolicy,
+    lanes: usize,
+    reorder_window: usize,
+    metrics: Metrics,
+) -> JoinHandle<rdb_crypto::digest::Digest> {
+    let lanes = lanes.clamp(1, rdb_store::MAX_LANES);
+    std::thread::Builder::new()
+        .name(format!("{node}-execute"))
+        .spawn(move || {
+            if lanes <= 1 {
+                run_sequential_executor(
+                    store, exec_rx, ledger, ckpt_tx, tracker, cfg, queue, metrics,
+                )
+            } else {
+                run_lane_pool(
+                    node,
+                    store,
+                    exec_rx,
+                    ledger,
+                    ckpt_tx,
+                    cfg,
+                    queue,
+                    lanes,
+                    reorder_window,
+                    metrics,
+                )
+            }
+        })
+        .expect("spawn execution thread")
+}
+
+/// The original single-thread execute stage: apply in commit order on one
+/// table, append, snapshot at interval boundaries. The lane pool must be
+/// observationally identical to this loop.
+#[allow(clippy::too_many_arguments)]
+fn run_sequential_executor(
+    mut store: KvStore,
+    exec_rx: Receiver<Decision>,
+    ledger: Arc<Mutex<Ledger>>,
+    ckpt_tx: Option<Sender<CheckpointMsg>>,
     mut tracker: CheckpointTracker,
     cfg: CheckpointConfig,
     queue: QueuePolicy,
     metrics: Metrics,
-) -> JoinHandle<rdb_crypto::digest::Digest> {
-    std::thread::Builder::new()
-        .name(format!("{node}-execute"))
-        .spawn(move || {
-            let mut checkpointing = cfg.enabled() && ckpt_tx.is_some();
-            while let Ok(decision) = exec_rx.recv() {
+) -> Digest {
+    let mut checkpointing = cfg.enabled() && ckpt_tx.is_some();
+    metrics.set_exec_lanes(1);
+    while let Ok(decision) = exec_rx.recv() {
+        let t0 = Instant::now();
+        let mut ops = 0u64;
+        for entry in &decision.entries {
+            for op in entry.batch.batch.operations() {
+                ops += 1;
+                if checkpointing {
+                    // Live fingerprinting: snapshots need an
+                    // honest O(1) digest at interval boundaries.
+                    store.execute(op);
+                } else {
+                    // The decision's state digest is authoritative
+                    // (computed by the ordering state machine), so
+                    // the materialized table skips per-write
+                    // fingerprint hashing; the digest is rebuilt
+                    // once at shutdown.
+                    store.execute_unfingerprinted(op);
+                }
+            }
+        }
+        let height = {
+            let mut l = ledger.lock();
+            l.append_decision(&decision);
+            l.head_height()
+        };
+        metrics.lane_batch(0, ops, t0.elapsed());
+        metrics.stage_processed(Stage::Execute, t0.elapsed());
+        if !checkpointing {
+            continue;
+        }
+        if let Some((height, state)) = tracker.on_decision(height, store.state_digest()) {
+            let snapshot = cfg.retain_snapshot.then(|| store.clone());
+            let tx = ckpt_tx.as_ref().expect("checkpointing implies sender");
+            match send_with_policy(
+                tx,
+                CheckpointMsg::Snapshot {
+                    height,
+                    state,
+                    snapshot,
+                },
+                queue,
+                false,
+                &metrics,
+                Stage::Checkpoint,
+            ) {
+                SendOutcome::Sent => metrics.stage_enqueued(Stage::Checkpoint),
+                SendOutcome::Shed => unreachable!("snapshots never shed"),
+                SendOutcome::Disconnected => checkpointing = false,
+            }
+        }
+    }
+    if !checkpointing {
+        store.rebuild_fingerprint();
+    }
+    store.state_digest()
+}
+
+// ------------------------------------------------------------------------
+// The key-sharded lane pool (PipelineConfig::exec_lanes > 1).
+//
+// The execute thread becomes a *scheduler*: it analyzes each decision's
+// key footprint (rdb_store::lanes::partition_batch), fans the per-lane
+// work lists out to N lane threads that each own the key-disjoint slice
+// of the table with keys ≡ lane (mod N), and retires decisions strictly
+// in commit order once every lane they touched reports completion.
+// Conflict-awareness falls out of the partition: two decisions touching
+// the same shard land on the same lane's FIFO and serialize; decisions
+// with disjoint footprints run on different lanes concurrently.
+//
+// Out-of-order completion is bounded by the reorder window W
+// (PipelineConfig::reorder_window — the exec queue's capacity): at most W
+// decisions are in flight between dispatch and retirement, so each
+// lane's job queue is bounded by W as well and dispatch sends never park
+// (no scheduler/lane deadlock by construction). Retirement performs the
+// ledger append and Stage::Execute accounting in commit order, which
+// keeps the ledger, checkpoint interval boundaries, and the execution
+// audit byte-identical to the sequential executor above.
+
+/// A lane's answer to a checkpoint barrier: its index, its 40-byte
+/// fingerprint part, and (when snapshots are retained) a clone of its
+/// table slice.
+type LanePart = (usize, ([u8; 32], u64), Option<KvStore>);
+
+/// One unit of work on a lane thread's bounded FIFO.
+enum LaneJob {
+    /// Apply this decision's lane-local items. `id` is the decision's
+    /// dispatch ordinal, echoed in the completion message.
+    Apply {
+        id: u64,
+        items: Vec<LaneItem>,
+        fingerprint: bool,
+    },
+    /// Checkpoint barrier (queue already drained): report the lane's
+    /// fingerprint part — and a clone of its table slice when snapshots
+    /// are retained — so the scheduler can certify the combined digest.
+    Checkpoint {
+        reply: Sender<LanePart>,
+        snapshot: bool,
+    },
+}
+
+/// A lane finished the `Apply` job of decision `id`.
+struct LaneDone {
+    lane: usize,
+    id: u64,
+}
+
+/// One in-flight decision in the reorder window.
+struct InFlight {
+    decision: Decision,
+    /// Lanes still executing this decision's items.
+    waiting: u64,
+    /// Scheduler-side partition + dispatch cost, folded into the
+    /// decision's Stage::Execute busy time at retirement.
+    dispatch: Duration,
+}
+
+fn lane_loop(
+    lane: usize,
+    mut store: KvStore,
+    jobs: Receiver<LaneJob>,
+    done: Sender<LaneDone>,
+    metrics: Metrics,
+) -> KvStore {
+    for job in jobs.iter() {
+        match job {
+            LaneJob::Apply {
+                id,
+                items,
+                fingerprint,
+            } => {
                 let t0 = Instant::now();
-                for entry in &decision.entries {
-                    for op in entry.batch.batch.operations() {
-                        if checkpointing {
-                            // Live fingerprinting: snapshots need an
-                            // honest O(1) digest at interval boundaries.
-                            store.execute(op);
-                        } else {
-                            // The decision's state digest is authoritative
-                            // (computed by the ordering state machine), so
-                            // the materialized table skips per-write
-                            // fingerprint hashing; the digest is rebuilt
-                            // once at shutdown.
-                            store.execute_unfingerprinted(op);
-                        }
-                    }
+                let ops = items.len() as u64;
+                for item in &items {
+                    store.execute_partial(&item.op, item.home, fingerprint);
                 }
-                let height = {
+                metrics.lane_batch(lane, ops, t0.elapsed());
+                if done.send(LaneDone { lane, id }).is_err() {
+                    break; // scheduler gone: shutting down
+                }
+            }
+            LaneJob::Checkpoint { reply, snapshot } => {
+                let snap = snapshot.then(|| store.clone());
+                let _ = reply.send((lane, store.fingerprint_part(), snap));
+            }
+        }
+    }
+    store
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lane_pool(
+    node: NodeId,
+    store: KvStore,
+    exec_rx: Receiver<Decision>,
+    ledger: Arc<Mutex<Ledger>>,
+    ckpt_tx: Option<Sender<CheckpointMsg>>,
+    cfg: CheckpointConfig,
+    queue: QueuePolicy,
+    lanes: usize,
+    reorder_window: usize,
+    metrics: Metrics,
+) -> Digest {
+    let mut checkpointing = cfg.enabled() && ckpt_tx.is_some();
+    // Checkpoint certification needs honest per-lane fingerprints at
+    // every barrier, so lanes hash incrementally; otherwise they defer
+    // (dirty-shard rebuild at shutdown), like the sequential stage.
+    let fingerprint = checkpointing;
+    let window = reorder_window.max(1);
+    metrics.set_exec_lanes(lanes);
+
+    let lane_stores = store.split_lanes(lanes);
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<LaneDone>();
+    let mut job_txs: Vec<Sender<LaneJob>> = Vec::with_capacity(lanes);
+    let mut lane_handles: Vec<JoinHandle<KvStore>> = Vec::with_capacity(lanes);
+    for (lane, lane_store) in lane_stores.into_iter().enumerate() {
+        // Window-bounded FIFO: at most `window` decisions are in flight
+        // and each sends this lane at most one job, so dispatch sends
+        // never block (the +1 covers the barrier probe).
+        let (tx, rx) = crossbeam::channel::bounded::<LaneJob>(window + 1);
+        let done = done_tx.clone();
+        let lane_metrics = metrics.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{node}-exec-lane{lane}"))
+            .spawn(move || lane_loop(lane, lane_store, rx, done, lane_metrics))
+            .expect("spawn lane thread");
+        job_txs.push(tx);
+        lane_handles.push(handle);
+    }
+    drop(done_tx);
+
+    // The reorder window: decisions dispatched but not yet retired, in
+    // commit order. `retired` counts retirements, so in-flight decision
+    // `id` lives at index `id - retired`.
+    let mut window_q: VecDeque<InFlight> = VecDeque::with_capacity(window);
+    let mut next_id = 0u64;
+    let mut retired = 0u64;
+    let mut decided = 0u64;
+
+    // Mark a completion against the window.
+    let mark = |window_q: &mut VecDeque<InFlight>, retired: u64, done: LaneDone| {
+        let idx = (done.id - retired) as usize;
+        window_q[idx].waiting &= !(1u64 << done.lane);
+    };
+    // Retire every ready decision at the window head, in commit order:
+    // append to the shared ledger and account the Execute stage exactly
+    // like the sequential loop.
+    let retire_ready =
+        |window_q: &mut VecDeque<InFlight>, retired: &mut u64, ledger: &Mutex<Ledger>| -> u64 {
+            let mut height = 0;
+            while window_q.front().is_some_and(|f| f.waiting == 0) {
+                let f = window_q.pop_front().expect("checked front");
+                let t0 = Instant::now();
+                {
                     let mut l = ledger.lock();
-                    l.append_decision(&decision);
-                    l.head_height()
-                };
-                metrics.stage_processed(Stage::Execute, t0.elapsed());
-                if !checkpointing {
-                    continue;
+                    l.append_decision(&f.decision);
+                    height = l.head_height();
                 }
-                if let Some((height, state)) = tracker.on_decision(height, store.state_digest()) {
-                    let snapshot = cfg.retain_snapshot.then(|| store.clone());
-                    let tx = ckpt_tx.as_ref().expect("checkpointing implies sender");
-                    match send_with_policy(
-                        tx,
-                        CheckpointMsg::Snapshot {
-                            height,
-                            state,
-                            snapshot,
-                        },
-                        queue,
-                        false,
-                        &metrics,
-                        Stage::Checkpoint,
-                    ) {
-                        SendOutcome::Sent => metrics.stage_enqueued(Stage::Checkpoint),
-                        SendOutcome::Shed => unreachable!("snapshots never shed"),
-                        SendOutcome::Disconnected => checkpointing = false,
-                    }
+                metrics.stage_processed(Stage::Execute, f.dispatch + t0.elapsed());
+                *retired += 1;
+            }
+            height
+        };
+    // Block until one completion arrives, attributing the wait to the
+    // lanes the window head is still missing (the conflict stall).
+    let wait_one = |window_q: &mut VecDeque<InFlight>, retired: u64| -> bool {
+        let head_mask = window_q.front().map_or(0, |f| f.waiting);
+        let t0 = Instant::now();
+        match done_rx.recv() {
+            Ok(done) => {
+                metrics.lane_stalled(head_mask, t0.elapsed());
+                mark(window_q, retired, done);
+                true
+            }
+            Err(_) => false, // every lane thread exited (panic): give up
+        }
+    };
+
+    while let Ok(decision) = exec_rx.recv() {
+        // Reorder-window bound: park until the head retires.
+        while window_q.len() >= window {
+            if !wait_one(&mut window_q, retired) {
+                break;
+            }
+            retire_ready(&mut window_q, &mut retired, &ledger);
+        }
+        let t0 = Instant::now();
+        let ops: Vec<Operation> = decision
+            .entries
+            .iter()
+            .flat_map(|e| e.batch.batch.operations())
+            .cloned()
+            .collect();
+        let parts = store_lanes::partition_batch(&ops, lanes);
+        let mut waiting = 0u64;
+        for (lane, items) in parts.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            waiting |= 1u64 << lane;
+            job_txs[lane]
+                .send(LaneJob::Apply {
+                    id: next_id,
+                    items,
+                    fingerprint,
+                })
+                .expect("lane thread alive");
+        }
+        window_q.push_back(InFlight {
+            decision,
+            waiting,
+            dispatch: t0.elapsed(),
+        });
+        next_id += 1;
+        decided += 1;
+
+        // Opportunistically drain completions and retire.
+        while let Ok(done) = done_rx.try_recv() {
+            mark(&mut window_q, retired, done);
+        }
+        retire_ready(&mut window_q, &mut retired, &ledger);
+
+        // Checkpoint interval boundary (same count-based schedule as the
+        // sequential tracker): drain the window so the lanes have
+        // materialized exactly the committed prefix, then certify the
+        // combined digest at the boundary height.
+        if checkpointing && decided.is_multiple_of(cfg.interval) {
+            while !window_q.is_empty() {
+                if !wait_one(&mut window_q, retired) {
+                    break;
                 }
+                retire_ready(&mut window_q, &mut retired, &ledger);
             }
-            if !checkpointing {
-                store.rebuild_fingerprint();
+            let height = ledger.lock().head_height();
+            let (reply_tx, reply_rx) =
+                crossbeam::channel::bounded::<(usize, ([u8; 32], u64), Option<KvStore>)>(lanes);
+            for tx in &job_txs {
+                tx.send(LaneJob::Checkpoint {
+                    reply: reply_tx.clone(),
+                    snapshot: cfg.retain_snapshot,
+                })
+                .expect("lane thread alive");
             }
-            store.state_digest()
-        })
-        .expect("spawn execution thread")
+            drop(reply_tx);
+            let mut parts: Vec<([u8; 32], u64)> = Vec::with_capacity(lanes);
+            let mut snaps: Vec<KvStore> = Vec::new();
+            for _ in 0..lanes {
+                let (_, part, snap) = reply_rx.recv().expect("lane thread alive");
+                parts.push(part);
+                snaps.extend(snap);
+            }
+            let state = KvStore::digest_from_parts(parts);
+            let snapshot = cfg.retain_snapshot.then(|| KvStore::merge_lanes(snaps));
+            let tx = ckpt_tx.as_ref().expect("checkpointing implies sender");
+            match send_with_policy(
+                tx,
+                CheckpointMsg::Snapshot {
+                    height,
+                    state,
+                    snapshot,
+                },
+                queue,
+                false,
+                &metrics,
+                Stage::Checkpoint,
+            ) {
+                SendOutcome::Sent => metrics.stage_enqueued(Stage::Checkpoint),
+                SendOutcome::Shed => unreachable!("snapshots never shed"),
+                SendOutcome::Disconnected => checkpointing = false,
+            }
+        }
+    }
+
+    // Worker gone: drain the window, stop the lanes, reassemble the
+    // combined digest for the execution-stage audit.
+    while !window_q.is_empty() {
+        if !wait_one(&mut window_q, retired) {
+            break;
+        }
+        retire_ready(&mut window_q, &mut retired, &ledger);
+    }
+    drop(job_txs);
+    drop(done_rx);
+    let mut stores: Vec<KvStore> = lane_handles
+        .into_iter()
+        .map(|h| h.join().expect("lane thread panicked"))
+        .collect();
+    if !fingerprint {
+        for s in &mut stores {
+            // Dirty-shard rebuild: only the slices this lane wrote.
+            s.rebuild_fingerprint();
+        }
+    }
+    KvStore::combined_state_digest(&stores)
 }
 
 /// What the checkpoint stage knew when its replica stopped.
@@ -855,6 +1221,8 @@ mod tests {
             CheckpointTracker::new(0, 3),
             CheckpointConfig::default(),
             QueuePolicy::block(8),
+            1,
+            8,
             metrics.clone(),
         );
         send_write_decisions(&exec_tx, 5);
@@ -905,6 +1273,8 @@ mod tests {
             CheckpointTracker::new(cfg.interval, 3),
             cfg,
             QueuePolicy::block(8),
+            1,
+            8,
             metrics.clone(),
         );
         send_write_decisions(&exec_tx, 5);
@@ -942,6 +1312,115 @@ mod tests {
             assert!(snap.verify_fingerprint(), "snapshot digest is live");
         }
         assert_eq!(metrics.stage_snapshot().row(Stage::Checkpoint).enqueued, 2);
+    }
+
+    /// Run `spawn_executor` with `lanes` over `n` single-write decisions
+    /// and return (exec digest, ledger, snapshot jobs, metrics).
+    fn run_executor_lanes(
+        lanes: usize,
+        window: usize,
+        n: u64,
+        cfg: CheckpointConfig,
+    ) -> (Digest, Ledger, Vec<CheckpointMsg>, Metrics) {
+        let (exec_tx, exec_rx) = unbounded::<Decision>();
+        let (ckpt_tx, ckpt_rx) = bounded::<CheckpointMsg>(64);
+        let metrics = Metrics::new();
+        let ledger = Arc::new(parking_lot::Mutex::new(Ledger::new()));
+        let handle = spawn_executor(
+            ReplicaId::new(0, 0).into(),
+            KvStore::with_ycsb_records(64),
+            exec_rx,
+            Arc::clone(&ledger),
+            cfg.enabled().then_some(ckpt_tx.clone()),
+            CheckpointTracker::new(cfg.interval, 3),
+            cfg,
+            QueuePolicy::block(8),
+            lanes,
+            window,
+            metrics.clone(),
+        );
+        send_write_decisions(&exec_tx, n);
+        drop(exec_tx);
+        let digest = handle.join().unwrap();
+        drop(ckpt_tx);
+        let jobs: Vec<CheckpointMsg> = ckpt_rx.iter().collect();
+        let Ok(ledger) = Arc::try_unwrap(ledger) else {
+            unreachable!("executor joined");
+        };
+        (digest, ledger.into_inner(), jobs, metrics)
+    }
+
+    #[test]
+    fn lane_pool_is_byte_identical_to_sequential() {
+        let (seq_digest, seq_ledger, _, _) =
+            run_executor_lanes(1, 8, 20, CheckpointConfig::default());
+        for lanes in [2usize, 4] {
+            let (digest, ledger, _, metrics) =
+                run_executor_lanes(lanes, 8, 20, CheckpointConfig::default());
+            assert_eq!(digest, seq_digest, "lanes={lanes}");
+            assert_eq!(ledger.head_height(), seq_ledger.head_height());
+            for h in 1..=20u64 {
+                assert_eq!(
+                    ledger.block(h).unwrap().hash(),
+                    seq_ledger.block(h).unwrap().hash(),
+                    "block {h} diverged at lanes={lanes}"
+                );
+            }
+            let snap = metrics.stage_snapshot();
+            assert_eq!(snap.row(Stage::Execute).processed, 20);
+            assert_eq!(snap.lanes.len(), lanes, "per-lane rows surfaced");
+            let lane_ops: u64 = snap.lanes.iter().map(|l| l.ops).sum();
+            assert_eq!(lane_ops, 20, "one write per decision, counted once");
+        }
+    }
+
+    #[test]
+    fn lane_pool_checkpoints_at_identical_boundaries() {
+        let cfg = CheckpointConfig {
+            interval: 3,
+            retain_snapshot: true,
+            fault_delay: Duration::ZERO,
+        };
+        let (seq_digest, _, seq_jobs, _) = run_executor_lanes(1, 8, 10, cfg);
+        let (digest, _, jobs, _) = run_executor_lanes(4, 8, 10, cfg);
+        assert_eq!(digest, seq_digest);
+        assert_eq!(jobs.len(), seq_jobs.len(), "same boundary count");
+        for (job, seq_job) in jobs.iter().zip(&seq_jobs) {
+            let (
+                CheckpointMsg::Snapshot {
+                    height,
+                    state,
+                    snapshot,
+                },
+                CheckpointMsg::Snapshot {
+                    height: sh,
+                    state: ss,
+                    snapshot: ssnap,
+                },
+            ) = (job, seq_job)
+            else {
+                panic!("executors only emit snapshots");
+            };
+            assert_eq!(height, sh);
+            assert_eq!(state, ss, "combined lane digest == sequential digest");
+            let (snap, ssnap) = (snapshot.as_ref().unwrap(), ssnap.as_ref().unwrap());
+            assert_eq!(snap.state_digest(), ssnap.state_digest());
+            assert_eq!(snap.stats(), ssnap.stats(), "merged lane stats match");
+            assert!(snap.verify_fingerprint(), "merged snapshot is live");
+        }
+    }
+
+    #[test]
+    fn lane_pool_respects_tiny_reorder_window() {
+        // Window of 1 degenerates to lock-step dispatch; still correct.
+        let (seq_digest, seq_ledger, _, _) =
+            run_executor_lanes(1, 8, 12, CheckpointConfig::default());
+        let (digest, ledger, _, _) = run_executor_lanes(4, 1, 12, CheckpointConfig::default());
+        assert_eq!(digest, seq_digest);
+        assert_eq!(
+            ledger.block(12).unwrap().hash(),
+            seq_ledger.block(12).unwrap().hash()
+        );
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub struct NetStats {
     /// Pipeline checkpoints taken across all replicas (nonzero only when
     /// `PipelineModel::checkpoint_interval` enables the modeled stage).
     pub checkpoints: u64,
+    /// Times a modeled worker blocked on the bounded execute stage — the
+    /// in-flight materialization backlog was at
+    /// `PipelineModel::exec_queue_capacity` (nonzero only when that gate
+    /// is configured). The virtual twin of the fabric's Block-policy
+    /// exec-queue backpressure.
+    pub exec_gate_waits: u64,
+    /// Accumulated virtual time workers spent blocked on that gate.
+    pub exec_gate_wait: SimDuration,
 }
 
 impl NetStats {

@@ -1,0 +1,286 @@
+//! Key-sharded execution lanes.
+//!
+//! The fabric's execute stage (see `resilientdb::pipeline`) can apply
+//! committed batches on several *lanes* — threads that each own a
+//! key-disjoint slice of the table ([`KvStore::split_lanes`]). This module
+//! holds the pure partitioning logic: which lane a key belongs to, how a
+//! batch's operations fan out across lanes, and how per-lane outcomes
+//! reassemble into the exact [`TxnEffect`] sequential execution would have
+//! produced.
+//!
+//! Correctness rests on two invariants:
+//!
+//! 1. **Per-key order.** `lane_of` is a pure function of the key, so every
+//!    operation on a given key lands on the same lane; dispatching each
+//!    lane's items in commit order therefore preserves the sequential
+//!    per-key version history — which is all the XOR fingerprint observes.
+//! 2. **Single counting.** An operation has exactly one *home* lane (its
+//!    primary key's lane; lane 0 for `NoOp`). Only the home item bumps
+//!    `StoreStats`/`applied_txns`, so summed lane stats equal sequential
+//!    stats even for scans, which fan out to every lane whose keys the
+//!    range crosses and report per-lane partial counts.
+
+use crate::ops::{ExecOutcome, Operation, TxnEffect};
+use crate::table::KvStore;
+
+/// Upper bound on lane count: lane footprints travel as `u64` bitmasks.
+pub const MAX_LANES: usize = 64;
+
+/// The lane owning `key`: a plain modulus, so a contiguous key range (and
+/// hence a uniform YCSB draw) spreads evenly across lanes.
+#[inline]
+pub fn lane_of(key: u64, lanes: usize) -> usize {
+    debug_assert!(lanes >= 1);
+    (key % lanes as u64) as usize
+}
+
+/// The home lane of an operation — the lane that owns its primary key and
+/// is charged with counting it. `NoOp` (keyless) homes on lane 0.
+#[inline]
+pub fn home_lane(op: &Operation, lanes: usize) -> usize {
+    op.primary_key().map_or(0, |k| lane_of(k, lanes))
+}
+
+/// One operation routed to a lane by [`partition_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneItem {
+    /// Index of the operation within the original batch.
+    pub op_index: usize,
+    /// The operation itself (scans keep their full range; a lane store
+    /// only holds its own keys, so executing the range yields the lane's
+    /// partial count).
+    pub op: Operation,
+    /// Whether this lane is the operation's home (counts stats, owns the
+    /// outcome slot for non-scan operations).
+    pub home: bool,
+}
+
+/// Bitmask of lanes a batch touches. Lane counts are capped at
+/// [`MAX_LANES`] so the footprint always fits a `u64`; the scheduler uses
+/// this for conflict accounting and the metrics layer for per-lane
+/// occupancy.
+pub fn lane_mask(ops: &[Operation], lanes: usize) -> u64 {
+    debug_assert!((1..=MAX_LANES).contains(&lanes));
+    let mut mask = 0u64;
+    for op in ops {
+        match op {
+            Operation::Scan { key, count } => {
+                mask |= 1 << lane_of(*key, lanes);
+                let span = (*count as usize).min(lanes) as u64;
+                for k in *key..key.saturating_add(span) {
+                    mask |= 1 << lane_of(k, lanes);
+                }
+            }
+            _ => mask |= 1 << home_lane(op, lanes),
+        }
+        if mask == ((1u128 << lanes) - 1) as u64 {
+            break;
+        }
+    }
+    mask
+}
+
+/// Fan a batch's operations out to `lanes` work lists, preserving batch
+/// order within each lane. Single-key operations go to their home lane
+/// only; scans go to every lane whose keys the range crosses (the first
+/// `min(count, lanes)` keys of a contiguous range already visit each such
+/// lane), with the home lane always included so empty scans still count.
+pub fn partition_batch(ops: &[Operation], lanes: usize) -> Vec<Vec<LaneItem>> {
+    let mut out: Vec<Vec<LaneItem>> = (0..lanes).map(|_| Vec::new()).collect();
+    for (op_index, op) in ops.iter().enumerate() {
+        match op {
+            Operation::Scan { key, count } => {
+                let home = lane_of(*key, lanes);
+                let mut touched = vec![false; lanes];
+                touched[home] = true;
+                let span = (*count as usize).min(lanes) as u64;
+                for k in *key..key.saturating_add(span) {
+                    touched[lane_of(k, lanes)] = true;
+                }
+                for (lane, hit) in touched.into_iter().enumerate() {
+                    if hit {
+                        out[lane].push(LaneItem {
+                            op_index,
+                            op: op.clone(),
+                            home: lane == home,
+                        });
+                    }
+                }
+            }
+            _ => {
+                let lane = home_lane(op, lanes);
+                out[lane].push(LaneItem {
+                    op_index,
+                    op: op.clone(),
+                    home: true,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Reassemble per-lane outcomes into the batch's [`TxnEffect`], in
+/// operation order. Scan partials sum; every other operation takes its
+/// home lane's outcome. `lane_outcomes[l]` must parallel `lane_items[l]`.
+pub fn assemble_effect(
+    ops: &[Operation],
+    lane_items: &[Vec<LaneItem>],
+    lane_outcomes: &[Vec<ExecOutcome>],
+) -> TxnEffect {
+    let mut outcomes: Vec<ExecOutcome> = ops
+        .iter()
+        .map(|op| match op {
+            Operation::Scan { .. } => ExecOutcome::Scanned(0),
+            _ => ExecOutcome::Done,
+        })
+        .collect();
+    for (items, outs) in lane_items.iter().zip(lane_outcomes) {
+        debug_assert_eq!(items.len(), outs.len());
+        for (item, out) in items.iter().zip(outs) {
+            match out {
+                ExecOutcome::Scanned(partial) => {
+                    if let ExecOutcome::Scanned(total) = &mut outcomes[item.op_index] {
+                        *total += partial;
+                    }
+                }
+                other => {
+                    if item.home {
+                        outcomes[item.op_index] = other.clone();
+                    }
+                }
+            }
+        }
+    }
+    TxnEffect { outcomes }
+}
+
+/// Execute a batch across lane stores (in-place, single-threaded),
+/// returning the effect sequential [`KvStore::execute_batch`] would have
+/// produced on the merged table. The threaded lane pool in
+/// `resilientdb::pipeline` is the concurrent version of exactly this loop.
+pub fn execute_batch_sharded(
+    lanes: &mut [KvStore],
+    ops: &[Operation],
+    fingerprint: bool,
+) -> TxnEffect {
+    let items = partition_batch(ops, lanes.len());
+    let outcomes: Vec<Vec<ExecOutcome>> = items
+        .iter()
+        .zip(lanes.iter_mut())
+        .map(|(list, store)| {
+            list.iter()
+                .map(|it| store.execute_partial(&it.op, it.home, fingerprint))
+                .collect()
+        })
+        .collect();
+    assemble_effect(ops, &items, &outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Value;
+
+    #[test]
+    fn lane_of_is_stable_modulus() {
+        assert_eq!(lane_of(0, 4), 0);
+        assert_eq!(lane_of(5, 4), 1);
+        assert_eq!(lane_of(7, 1), 0);
+    }
+
+    #[test]
+    fn partition_routes_single_key_ops_home() {
+        let ops = vec![
+            Operation::Write {
+                key: 2,
+                value: Value::from_u64(9),
+            },
+            Operation::Read { key: 3 },
+            Operation::NoOp,
+        ];
+        let parts = partition_batch(&ops, 4);
+        assert_eq!(parts[2].len(), 1, "write homes on lane 2");
+        assert_eq!(parts[2][0].op_index, 0);
+        assert_eq!(parts[3].len(), 1, "read homes on lane 3");
+        assert_eq!(parts[0].len(), 1, "NoOp homes on lane 0");
+        assert!(parts[1].is_empty());
+        assert!(parts.iter().flatten().all(|it| it.home));
+    }
+
+    #[test]
+    fn scan_fans_out_and_sums() {
+        let mut whole = KvStore::with_ycsb_records(20);
+        let mut parts = KvStore::with_ycsb_records(20).split_lanes(3);
+        let ops = vec![Operation::Scan { key: 4, count: 9 }];
+        let expect = whole.execute_batch(&ops);
+        let got = execute_batch_sharded(&mut parts, &ops, true);
+        assert_eq!(expect, got);
+        let scans: u64 = parts.iter().map(|p| p.stats().scans).sum();
+        assert_eq!(scans, 1, "only the home lane counts the scan");
+        let applied: u64 = parts.iter().map(|p| p.applied_txns()).sum();
+        assert_eq!(applied, whole.applied_txns());
+    }
+
+    #[test]
+    fn empty_scan_still_counts_once() {
+        let mut whole = KvStore::with_ycsb_records(8);
+        let mut parts = KvStore::with_ycsb_records(8).split_lanes(4);
+        let ops = vec![Operation::Scan { key: 100, count: 0 }];
+        let expect = whole.execute_batch(&ops);
+        let got = execute_batch_sharded(&mut parts, &ops, true);
+        assert_eq!(expect, got);
+        assert_eq!(parts.iter().map(|p| p.stats().scans).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential_all_lane_counts() {
+        let ops = vec![
+            Operation::Write {
+                key: 1,
+                value: Value::from_u64(5),
+            },
+            Operation::Rmw { key: 1, delta: 3 },
+            Operation::Read { key: 1 },
+            Operation::Scan { key: 0, count: 12 },
+            Operation::Insert {
+                key: 40,
+                value: Value::from_u64(40),
+            },
+            Operation::Rmw { key: 40, delta: 1 },
+            Operation::NoOp,
+        ];
+        let mut whole = KvStore::with_ycsb_records(16);
+        let expect = whole.execute_batch(&ops);
+        for lanes in [1usize, 2, 3, 4, 7, 16] {
+            let mut parts = KvStore::with_ycsb_records(16).split_lanes(lanes);
+            let got = execute_batch_sharded(&mut parts, &ops, true);
+            assert_eq!(expect, got, "lanes={lanes}");
+            assert_eq!(
+                KvStore::combined_state_digest(&parts),
+                whole.state_digest(),
+                "lanes={lanes}"
+            );
+            let merged = KvStore::merge_lanes(parts);
+            assert_eq!(merged.stats(), whole.stats(), "lanes={lanes}");
+            assert_eq!(merged.applied_txns(), whole.applied_txns());
+        }
+    }
+
+    #[test]
+    fn lane_mask_covers_footprint() {
+        let ops = vec![
+            Operation::Write {
+                key: 5,
+                value: Value::from_u64(0),
+            },
+            Operation::NoOp,
+        ];
+        assert_eq!(lane_mask(&ops, 4), 0b0010 | 0b0001);
+        let scan = vec![Operation::Scan { key: 0, count: 64 }];
+        assert_eq!(lane_mask(&scan, 4), 0b1111);
+        assert_eq!(lane_mask(&[], 4), 0);
+        let one = vec![Operation::Read { key: 9 }];
+        assert_eq!(lane_mask(&one, 1), 0b1);
+    }
+}

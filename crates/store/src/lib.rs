@@ -14,8 +14,10 @@
 //! executing the same transaction sequence, and that checkpointing uses to
 //! identify stable states.
 
+pub mod lanes;
 pub mod ops;
 pub mod table;
 
+pub use lanes::{lane_mask, lane_of, partition_batch, LaneItem, MAX_LANES};
 pub use ops::{ExecOutcome, Operation, TxnEffect};
-pub use table::{KvStore, StoreStats, Value};
+pub use table::{KvStore, StoreStats, Value, STORE_SHARDS};

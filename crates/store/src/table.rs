@@ -58,20 +58,79 @@ impl StoreStats {
     pub fn total(&self) -> u64 {
         self.writes + self.reads + self.rmws + self.inserts + self.scans + self.noops
     }
+
+    /// Add another statistics block into this one (used when merging
+    /// per-lane stores back into a single table).
+    pub fn accumulate(&mut self, other: &StoreStats) {
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.rmws += other.rmws;
+        self.inserts += other.inserts;
+        self.scans += other.scans;
+        self.noops += other.noops;
+    }
+}
+
+/// Number of internal fingerprint shards per [`KvStore`]. Power of two so
+/// shard selection is a mask. Each shard keeps its own XOR accumulator and
+/// a dirty bit, so [`KvStore::rebuild_fingerprint`] after a run of
+/// unfingerprinted execution only rescans the shards that were touched
+/// instead of the whole table.
+pub const STORE_SHARDS: usize = 16;
+const SHARD_MASK: u64 = STORE_SHARDS as u64 - 1;
+
+#[inline]
+fn shard_of(key: u64) -> usize {
+    (key & SHARD_MASK) as usize
+}
+
+#[inline]
+fn xor_into(acc: &mut [u8; 32], d: &[u8; 32]) {
+    for (a, b) in acc.iter_mut().zip(d.iter()) {
+        *a ^= b;
+    }
+}
+
+/// One fingerprint shard: a slice of the record map plus the XOR fold of
+/// its records' digests. The table-wide accumulator is the XOR of every
+/// shard's `accum` (XOR is associative and commutative, so the partition
+/// is digest-preserving).
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    records: HashMap<u64, (Value, u64)>,
+    accum: [u8; 32],
+    /// Set when an unfingerprinted write lands here; cleared by rebuild.
+    dirty: bool,
+}
+
+impl Shard {
+    fn compute_accum(&self) -> [u8; 32] {
+        let mut acc = [0u8; 32];
+        for (key, (value, version)) in &self.records {
+            let d = KvStore::record_digest(*key, value, *version);
+            xor_into(&mut acc, &d);
+        }
+        acc
+    }
 }
 
 /// The in-memory YCSB table: a map from `u64` record keys to [`Value`]s
 /// plus a monotone version counter per record.
 ///
 /// The store maintains an *incremental* state fingerprint: a running XOR of
-/// per-record digests. XOR-accumulation makes `state_digest` O(1) while
-/// still changing whenever any record differs — two stores have equal
-/// digests iff they hold the same records at the same versions (up to hash
-/// collisions, which SHA-256 makes negligible).
+/// per-record digests, decomposed over [`STORE_SHARDS`] internal shards.
+/// XOR-accumulation makes `state_digest` O(1) while still changing whenever
+/// any record differs — two stores have equal digests iff they hold the
+/// same records at the same versions (up to hash collisions, which SHA-256
+/// makes negligible). The shard decomposition additionally makes
+/// [`KvStore::rebuild_fingerprint`] proportional to the *touched* shards
+/// rather than the whole table, and lets a store be split into key-disjoint
+/// lane stores (see [`crate::lanes`]) whose digests recombine exactly.
 #[derive(Debug, Clone)]
 pub struct KvStore {
-    records: HashMap<u64, (Value, u64)>, // key -> (value, version)
-    accum: [u8; 32],
+    shards: Vec<Shard>,
+    /// Cached total record count across shards.
+    len: usize,
     stats: StoreStats,
     /// Number of transactions applied (batch items), used for checkpoints.
     applied_txns: u64,
@@ -81,8 +140,8 @@ impl KvStore {
     /// Create an empty store.
     pub fn new() -> KvStore {
         KvStore {
-            records: HashMap::new(),
-            accum: [0u8; 32],
+            shards: (0..STORE_SHARDS).map(|_| Shard::default()).collect(),
+            len: 0,
             stats: StoreStats::default(),
             applied_txns: 0,
         }
@@ -93,14 +152,17 @@ impl KvStore {
     /// identical copy of the YCSB table" with 600 k active records).
     pub fn with_ycsb_records(record_count: u64) -> KvStore {
         let mut store = KvStore::new();
-        store.records.reserve(record_count as usize);
+        let per_shard = (record_count as usize / STORE_SHARDS) + 1;
+        for shard in &mut store.shards {
+            shard.records.reserve(per_shard);
+        }
         for key in 0..record_count {
             store.insert_raw(key, Value::from_u64(key));
         }
         store
     }
 
-    fn record_digest(key: u64, value: &Value, version: u64) -> [u8; 32] {
+    pub(crate) fn record_digest(key: u64, value: &Value, version: u64) -> [u8; 32] {
         let mut h = Sha256::new();
         h.update(&key.to_le_bytes());
         h.update(&value.0);
@@ -108,53 +170,72 @@ impl KvStore {
         h.finalize()
     }
 
-    fn xor_accum(&mut self, d: &[u8; 32]) {
-        for (a, b) in self.accum.iter_mut().zip(d.iter()) {
-            *a ^= b;
-        }
-    }
-
     fn insert_raw(&mut self, key: u64, value: Value) {
         self.insert_inner(key, value, true);
     }
 
+    /// Install a record at an explicit version, maintaining the shard
+    /// fingerprint. The key must not already be present — used when
+    /// splitting or reassembling lane stores, where each record moves
+    /// exactly once.
+    pub(crate) fn seed_record(&mut self, key: u64, value: Value, version: u64) {
+        let shard = &mut self.shards[shard_of(key)];
+        let d = Self::record_digest(key, &value, version);
+        xor_into(&mut shard.accum, &d);
+        let prev = shard.records.insert(key, (value, version));
+        debug_assert!(prev.is_none(), "seed_record over existing key");
+        self.len += 1;
+    }
+
     fn insert_inner(&mut self, key: u64, value: Value, fingerprint: bool) {
-        if let Some((old_v, old_ver)) = self.records.get(&key).copied() {
+        let shard = &mut self.shards[shard_of(key)];
+        if let Some((old_v, old_ver)) = shard.records.get(&key).copied() {
             let new_ver = old_ver + 1;
             if fingerprint {
                 let old_d = Self::record_digest(key, &old_v, old_ver);
-                self.xor_accum(&old_d);
+                xor_into(&mut shard.accum, &old_d);
                 let new_d = Self::record_digest(key, &value, new_ver);
-                self.xor_accum(&new_d);
+                xor_into(&mut shard.accum, &new_d);
+            } else {
+                shard.dirty = true;
             }
-            self.records.insert(key, (value, new_ver));
+            shard.records.insert(key, (value, new_ver));
         } else {
             if fingerprint {
                 let new_d = Self::record_digest(key, &value, 1);
-                self.xor_accum(&new_d);
+                xor_into(&mut shard.accum, &new_d);
+            } else {
+                shard.dirty = true;
             }
-            self.records.insert(key, (value, 1));
+            shard.records.insert(key, (value, 1));
+            self.len += 1;
         }
     }
 
     /// Number of records currently stored.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.len
     }
 
     /// True when the table holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len == 0
     }
 
     /// Read a record.
     pub fn get(&self, key: u64) -> Option<Value> {
-        self.records.get(&key).map(|(v, _)| *v)
+        self.shards[shard_of(key)]
+            .records
+            .get(&key)
+            .map(|(v, _)| *v)
     }
 
     /// Version of a record (1 on first write; None if absent).
     pub fn version(&self, key: u64) -> Option<u64> {
-        self.records.get(&key).map(|(_, ver)| *ver)
+        self.shards[shard_of(key)]
+            .records
+            .get(&key)
+            .map(|(_, ver)| *ver)
     }
 
     /// Execution statistics so far.
@@ -174,14 +255,23 @@ impl KvStore {
         // Mix in the record count so an empty store and a store whose
         // accumulated digests cancelled out (impossible in practice) differ.
         let mut h = Sha256::new();
-        h.update(&self.accum);
-        h.update(&(self.records.len() as u64).to_le_bytes());
+        h.update(&self.fold_accum());
+        h.update(&(self.len as u64).to_le_bytes());
         Digest(h.finalize())
+    }
+
+    /// XOR of all shard accumulators — the table-wide accumulator.
+    fn fold_accum(&self) -> [u8; 32] {
+        let mut acc = [0u8; 32];
+        for shard in &self.shards {
+            xor_into(&mut acc, &shard.accum);
+        }
+        acc
     }
 
     /// Execute one operation, returning its outcome.
     pub fn execute(&mut self, op: &Operation) -> ExecOutcome {
-        self.execute_inner(op, true)
+        self.execute_inner(op, true, true)
     }
 
     /// Execute one operation *without* maintaining the incremental state
@@ -191,20 +281,21 @@ impl KvStore {
     /// fingerprint is stale afterwards until
     /// [`KvStore::rebuild_fingerprint`] runs.
     pub fn execute_unfingerprinted(&mut self, op: &Operation) -> ExecOutcome {
-        self.execute_inner(op, false)
+        self.execute_inner(op, false, true)
     }
 
-    /// The XOR fold of every record's digest — the ground truth the
-    /// incremental `accum` tracks. O(records).
-    fn compute_accum(&self) -> [u8; 32] {
-        let mut acc = [0u8; 32];
-        for (key, (value, version)) in &self.records {
-            let d = Self::record_digest(*key, value, *version);
-            for (a, b) in acc.iter_mut().zip(d.iter()) {
-                *a ^= b;
-            }
-        }
-        acc
+    /// Execute one operation as a lane-local partial (see [`crate::lanes`]).
+    /// When `home` is false the per-class stats and `applied_txns` counter
+    /// are *not* bumped: the operation's home lane owns the counts, so
+    /// merged lane statistics stay identical to sequential execution even
+    /// for operations (scans) that fan out across several lanes.
+    pub fn execute_partial(
+        &mut self,
+        op: &Operation,
+        home: bool,
+        fingerprint: bool,
+    ) -> ExecOutcome {
+        self.execute_inner(op, fingerprint, home)
     }
 
     /// Audit the incremental fingerprint against a from-scratch rebuild:
@@ -214,30 +305,137 @@ impl KvStore {
     /// [`KvStore::execute_unfingerprinted`] without a rebuild would
     /// certify a stale digest).
     pub fn verify_fingerprint(&self) -> bool {
-        self.compute_accum() == self.accum
+        self.shards.iter().all(|s| s.compute_accum() == s.accum)
     }
 
-    /// Recompute the state fingerprint from the full table, restoring
+    /// Recompute the state fingerprint, restoring
     /// [`KvStore::state_digest`] correctness after a run of
-    /// [`KvStore::execute_unfingerprinted`]. O(records).
+    /// [`KvStore::execute_unfingerprinted`]. Only shards marked dirty by a
+    /// deferred write are rescanned, so the cost is proportional to the
+    /// touched fraction of the table, not its full size (compare
+    /// [`KvStore::rebuild_fingerprint_full`]).
     pub fn rebuild_fingerprint(&mut self) {
-        self.accum = self.compute_accum();
+        for shard in &mut self.shards {
+            if shard.dirty {
+                shard.accum = shard.compute_accum();
+                shard.dirty = false;
+            }
+        }
     }
 
-    fn execute_inner(&mut self, op: &Operation, fingerprint: bool) -> ExecOutcome {
-        self.applied_txns += 1;
+    /// Recompute every shard's fingerprint unconditionally — the
+    /// pre-sharding O(records) behaviour, kept as the baseline for the
+    /// `store-exec` bench and as a belt-and-braces repair path.
+    pub fn rebuild_fingerprint_full(&mut self) {
+        for shard in &mut self.shards {
+            shard.accum = shard.compute_accum();
+            shard.dirty = false;
+        }
+    }
+
+    /// Number of shards whose fingerprint is currently stale.
+    pub fn dirty_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.dirty).count()
+    }
+
+    /// Split this store into `lanes` key-disjoint stores: record `k` lands
+    /// in lane `k % lanes` (see [`crate::lanes::lane_of`]). Lane 0 inherits
+    /// the stats and applied-transaction counters so that summing over the
+    /// returned stores reproduces this store's totals. The combined digest
+    /// of the parts (via [`KvStore::combined_state_digest`]) equals this
+    /// store's [`KvStore::state_digest`].
+    pub fn split_lanes(self, lanes: usize) -> Vec<KvStore> {
+        assert!(lanes >= 1, "at least one lane");
+        let mut out: Vec<KvStore> = (0..lanes).map(|_| KvStore::new()).collect();
+        out[0].stats = self.stats;
+        out[0].applied_txns = self.applied_txns;
+        for shard in self.shards {
+            for (key, (value, version)) in shard.records {
+                out[crate::lanes::lane_of(key, lanes)].seed_record(key, value, version);
+            }
+        }
+        out
+    }
+
+    /// Reassemble key-disjoint lane stores (from [`KvStore::split_lanes`])
+    /// into one table, summing stats and applied-transaction counts.
+    /// Shard accumulators XOR together directly, so no record is rehashed.
+    pub fn merge_lanes(parts: Vec<KvStore>) -> KvStore {
+        let mut out = KvStore::new();
+        for part in parts {
+            out.stats.accumulate(&part.stats);
+            out.applied_txns += part.applied_txns;
+            out.len += part.len;
+            for (dst, src) in out.shards.iter_mut().zip(part.shards) {
+                xor_into(&mut dst.accum, &src.accum);
+                dst.dirty |= src.dirty;
+                if dst.records.is_empty() {
+                    dst.records = src.records;
+                } else {
+                    dst.records.extend(src.records);
+                }
+            }
+        }
+        out
+    }
+
+    /// The digest the union of key-disjoint lane stores would report as a
+    /// single table: XOR of every shard accumulator across all parts,
+    /// mixed with the summed record count — byte-identical to
+    /// [`KvStore::state_digest`] on the merged store, without merging.
+    pub fn combined_state_digest(parts: &[KvStore]) -> Digest {
+        Self::digest_from_parts(parts.iter().map(|p| p.fingerprint_part()))
+    }
+
+    /// This store's contribution to a combined digest: its folded XOR
+    /// accumulator and record count. Lane threads ship this (32 + 8
+    /// bytes) to the scheduler at checkpoint barriers instead of a table
+    /// clone; recombine with [`KvStore::digest_from_parts`].
+    pub fn fingerprint_part(&self) -> ([u8; 32], u64) {
+        (self.fold_accum(), self.len as u64)
+    }
+
+    /// Fold [`KvStore::fingerprint_part`] contributions from key-disjoint
+    /// stores into the digest their union would report.
+    pub fn digest_from_parts(parts: impl IntoIterator<Item = ([u8; 32], u64)>) -> Digest {
+        let mut acc = [0u8; 32];
+        let mut len = 0u64;
+        for (part_acc, part_len) in parts {
+            xor_into(&mut acc, &part_acc);
+            len += part_len;
+        }
+        let mut h = Sha256::new();
+        h.update(&acc);
+        h.update(&len.to_le_bytes());
+        Digest(h.finalize())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.shards[shard_of(key)].records.contains_key(&key)
+    }
+
+    fn execute_inner(&mut self, op: &Operation, fingerprint: bool, count: bool) -> ExecOutcome {
+        if count {
+            self.applied_txns += 1;
+        }
         match op {
             Operation::Write { key, value } => {
                 self.insert_inner(*key, *value, fingerprint);
-                self.stats.writes += 1;
+                if count {
+                    self.stats.writes += 1;
+                }
                 ExecOutcome::Done
             }
             Operation::Read { key } => {
-                self.stats.reads += 1;
+                if count {
+                    self.stats.reads += 1;
+                }
                 ExecOutcome::ReadValue(self.get(*key))
             }
             Operation::Rmw { key, delta } => {
-                self.stats.rmws += 1;
+                if count {
+                    self.stats.rmws += 1;
+                }
                 let current = self.get(*key).unwrap_or_default();
                 let next = current.counter().wrapping_add(*delta);
                 self.insert_inner(*key, current.with_counter(next), fingerprint);
@@ -245,21 +443,27 @@ impl KvStore {
             }
             Operation::Insert { key, value } => {
                 self.insert_inner(*key, *value, fingerprint);
-                self.stats.inserts += 1;
+                if count {
+                    self.stats.inserts += 1;
+                }
                 ExecOutcome::Done
             }
-            Operation::Scan { key, count } => {
-                self.stats.scans += 1;
+            Operation::Scan { key, count: n } => {
+                if count {
+                    self.stats.scans += 1;
+                }
                 let mut touched = 0u32;
-                for k in *key..key.saturating_add(*count as u64) {
-                    if self.records.contains_key(&k) {
+                for k in *key..key.saturating_add(*n as u64) {
+                    if self.contains(k) {
                         touched += 1;
                     }
                 }
                 ExecOutcome::Scanned(touched)
             }
             Operation::NoOp => {
-                self.stats.noops += 1;
+                if count {
+                    self.stats.noops += 1;
+                }
                 ExecOutcome::Done
             }
         }
@@ -330,6 +534,77 @@ mod tests {
         assert!(!s.verify_fingerprint(), "deferred write left it stale");
         s.rebuild_fingerprint();
         assert!(s.verify_fingerprint());
+    }
+
+    #[test]
+    fn dirty_rebuild_only_rescans_touched_shards() {
+        let mut s = KvStore::with_ycsb_records(64);
+        assert_eq!(s.dirty_shards(), 0);
+        // Touch two keys in the same shard and one in another.
+        s.execute_unfingerprinted(&Operation::Write {
+            key: 0,
+            value: Value::from_u64(1),
+        });
+        s.execute_unfingerprinted(&Operation::Write {
+            key: STORE_SHARDS as u64,
+            value: Value::from_u64(2),
+        });
+        s.execute_unfingerprinted(&Operation::Write {
+            key: 1,
+            value: Value::from_u64(3),
+        });
+        assert_eq!(s.dirty_shards(), 2);
+        // Amortized rebuild restores exactly the digest a full rebuild
+        // (and a fully fingerprinted twin) would produce.
+        let mut full = s.clone();
+        full.rebuild_fingerprint_full();
+        s.rebuild_fingerprint();
+        assert_eq!(s.dirty_shards(), 0);
+        assert_eq!(s.state_digest(), full.state_digest());
+        assert!(s.verify_fingerprint());
+    }
+
+    #[test]
+    fn split_and_merge_lanes_roundtrip() {
+        let mut s = KvStore::with_ycsb_records(100);
+        s.execute(&Operation::Rmw { key: 13, delta: 4 });
+        s.execute(&Operation::Read { key: 7 });
+        let digest = s.state_digest();
+        let stats = s.stats();
+        let applied = s.applied_txns();
+
+        let parts = s.split_lanes(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(KvStore::combined_state_digest(&parts), digest);
+        // Records land on their home lanes only.
+        assert_eq!(parts[1].get(13), Some(Value::from_u64(13).with_counter(17)));
+        assert_eq!(parts[0].get(13), None);
+        assert_eq!(
+            parts.iter().map(|p| p.len()).sum::<usize>(),
+            100,
+            "lanes partition the table"
+        );
+
+        let merged = KvStore::merge_lanes(parts);
+        assert_eq!(merged.state_digest(), digest);
+        assert_eq!(merged.len(), 100);
+        assert_eq!(merged.stats(), stats);
+        assert_eq!(merged.applied_txns(), applied);
+        assert_eq!(merged.version(13), Some(2));
+        assert!(merged.verify_fingerprint());
+    }
+
+    #[test]
+    fn execute_partial_skips_counts_for_non_home() {
+        let mut s = KvStore::with_ycsb_records(10);
+        let out = s.execute_partial(&Operation::Scan { key: 0, count: 10 }, false, true);
+        assert_eq!(out, ExecOutcome::Scanned(10));
+        assert_eq!(s.stats().scans, 0, "non-home partial leaves stats alone");
+        assert_eq!(s.applied_txns(), 0);
+        let out = s.execute_partial(&Operation::Scan { key: 0, count: 10 }, true, true);
+        assert_eq!(out, ExecOutcome::Scanned(10));
+        assert_eq!(s.stats().scans, 1);
+        assert_eq!(s.applied_txns(), 1);
     }
 
     #[test]
@@ -492,6 +767,21 @@ mod tests {
                 let before = s.state_digest();
                 s.execute(&Operation::Write { key, value: Value::from_u64(v) });
                 prop_assert_ne!(s.state_digest(), before);
+            }
+
+            /// Amortized dirty-shard rebuild always lands on the digest a
+            /// fully fingerprinted execution would have produced.
+            #[test]
+            fn dirty_rebuild_matches_live_fingerprint(ops in proptest::collection::vec(arb_op(), 0..100)) {
+                let mut live = KvStore::with_ycsb_records(64);
+                let mut deferred = KvStore::with_ycsb_records(64);
+                for op in &ops {
+                    live.execute(op);
+                    deferred.execute_unfingerprinted(op);
+                }
+                deferred.rebuild_fingerprint();
+                prop_assert_eq!(live.state_digest(), deferred.state_digest());
+                prop_assert!(deferred.verify_fingerprint());
             }
         }
     }

@@ -1,0 +1,79 @@
+//! Property test: key-sharded lane execution is indistinguishable from
+//! sequential execution — for random YCSB-style batches and any lane
+//! count, the per-transaction `TxnEffect`s, merged statistics, and table
+//! digest are byte-identical to `KvStore::execute_batch` on one store.
+
+use proptest::prelude::*;
+use rdb_store::lanes::execute_batch_sharded;
+use rdb_store::{KvStore, Operation, Value};
+
+const RECORDS: u64 = 96;
+
+fn arb_op() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        (0u64..128, any::<u64>()).prop_map(|(key, v)| Operation::Write {
+            key,
+            value: Value::from_u64(v)
+        }),
+        (0u64..128).prop_map(|key| Operation::Read { key }),
+        (0u64..128, 0u64..1000).prop_map(|(key, delta)| Operation::Rmw { key, delta }),
+        (96u64..160, any::<u64>()).prop_map(|(key, v)| Operation::Insert {
+            key,
+            value: Value::from_u64(v)
+        }),
+        (0u64..128, 0u32..32).prop_map(|(key, count)| Operation::Scan { key, count }),
+        Just(Operation::NoOp),
+    ]
+}
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<Operation>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_op(), 0..12), 0..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any batch sequence and lane count, sharded execution produces
+    /// byte-identical per-txn effects and the same combined state digest
+    /// as a single sequential store, and the merged store is
+    /// indistinguishable (stats, applied count, live fingerprint).
+    #[test]
+    fn lanes_equal_sequential(batches in arb_batches(), lanes in 1usize..9) {
+        let mut seq = KvStore::with_ycsb_records(RECORDS);
+        let mut parts = KvStore::with_ycsb_records(RECORDS).split_lanes(lanes);
+
+        for (i, batch) in batches.iter().enumerate() {
+            let expect = seq.execute_batch(batch);
+            let got = execute_batch_sharded(&mut parts, batch, true);
+            prop_assert_eq!(&expect, &got, "batch {} diverged (lanes={})", i, lanes);
+        }
+
+        prop_assert_eq!(KvStore::combined_state_digest(&parts), seq.state_digest());
+        let merged = KvStore::merge_lanes(parts);
+        prop_assert_eq!(merged.state_digest(), seq.state_digest());
+        prop_assert_eq!(merged.stats(), seq.stats());
+        prop_assert_eq!(merged.applied_txns(), seq.applied_txns());
+        prop_assert_eq!(merged.len(), seq.len());
+        prop_assert!(merged.verify_fingerprint());
+    }
+
+    /// The unfingerprinted fast path converges to the same digest once
+    /// lane fingerprints are rebuilt (dirty shards only).
+    #[test]
+    fn unfingerprinted_lanes_rebuild_to_sequential(
+        batches in arb_batches(),
+        lanes in 1usize..5,
+    ) {
+        let mut seq = KvStore::with_ycsb_records(RECORDS);
+        let mut parts = KvStore::with_ycsb_records(RECORDS).split_lanes(lanes);
+        for batch in &batches {
+            let expect = seq.execute_batch(batch);
+            let got = execute_batch_sharded(&mut parts, batch, false);
+            prop_assert_eq!(expect, got);
+        }
+        for part in &mut parts {
+            part.rebuild_fingerprint();
+        }
+        prop_assert_eq!(KvStore::combined_state_digest(&parts), seq.state_digest());
+    }
+}

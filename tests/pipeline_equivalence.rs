@@ -101,6 +101,75 @@ fn simnet_and_fabric_commit_identical_ledgers() {
 }
 
 #[test]
+fn exec_lanes_commit_identical_ledgers_at_any_lane_count() {
+    // The key-sharded lane pool must be invisible in the committed
+    // chain: the same deployment at 1, 2 and 4 execution lanes commits
+    // ledgers byte-identical to the (single-lane) simulator — same
+    // batches, same post-execution state digests, same block hashes —
+    // and the materialized tables still audit against the ledger heads
+    // (the commit-order retirement and per-lane fingerprint combination
+    // at work). Lanes may only change timing, never content.
+    let sim = simnet_ledger();
+    for lanes in [1usize, 2, 4] {
+        let builder = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+            .batch_size(BATCH)
+            .records(RECORDS)
+            .seed(SEED)
+            .exec_lanes(lanes);
+        let report = drive(builder, 1, Duration::from_millis(900));
+        assert!(
+            report.completed_batches > 0,
+            "lanes={lanes}: {}",
+            report.summary()
+        );
+        let common = report
+            .audit_ledgers()
+            .unwrap_or_else(|e| panic!("lanes={lanes}: fabric ledgers inconsistent: {e}"));
+        report
+            .audit_execution_stage()
+            .unwrap_or_else(|e| panic!("lanes={lanes}: execution audit failed: {e}"));
+        let fabric = &report.ledgers[&ReplicaId::new(0, 0)];
+        let prefix = common.min(sim.head_height());
+        assert!(
+            prefix >= 3,
+            "lanes={lanes}: need a non-trivial common prefix (fabric {common}, simnet {})",
+            sim.head_height()
+        );
+        for h in 1..=prefix {
+            let a = sim.block(h).expect("simnet block");
+            let b = fabric.block(h).expect("fabric block");
+            assert_eq!(
+                a.batch.digest(),
+                b.batch.digest(),
+                "lanes={lanes}: batch divergence at height {h}"
+            );
+            assert_eq!(
+                a.state_digest, b.state_digest,
+                "lanes={lanes}: execution state divergence at height {h}"
+            );
+            assert_eq!(
+                a.hash(),
+                b.hash(),
+                "lanes={lanes}: block hash divergence at height {h}"
+            );
+        }
+        // The lane rows really saw the traffic: the report exposes one
+        // row per configured lane, and every processed decision produced
+        // at least one lane job (a decision touching several shards
+        // produces one per touched lane).
+        use rdb_consensus::stage::Stage;
+        assert_eq!(report.stages.lanes.len(), lanes, "lanes={lanes}");
+        let lane_batches: u64 = report.stages.lanes.iter().map(|l| l.batches).sum();
+        assert!(
+            lane_batches >= report.stages.row(Stage::Execute).processed,
+            "lanes={lanes}: lane accounting lost decisions ({} jobs, {} processed)",
+            lane_batches,
+            report.stages.row(Stage::Execute).processed
+        );
+    }
+}
+
+#[test]
 fn saturated_bounded_queues_commit_identical_ledgers() {
     // The same single-client deployment, but with the smallest sane
     // queue bounds on the fabric side (a consensus burst of a 4-replica
