@@ -35,13 +35,13 @@ fn scenario(fanout: Option<usize>, drop_first_receiver: bool, quick: bool) -> Sc
         let z = 4u16;
         s.faults = (0..z)
             .flat_map(|src| {
-                (0..z)
-                    .filter(move |dst| *dst != src)
-                    .map(move |dst| FaultSpec::DropLink {
-                        a: ReplicaId::new(src, 0),
-                        b: ReplicaId::new(dst, 0),
-                        from_time: SimTime::ZERO,
-                    })
+                (0..z).filter(move |dst| *dst != src).map(move |dst| {
+                    FaultSpec::drop_link(
+                        ReplicaId::new(src, 0),
+                        ReplicaId::new(dst, 0),
+                        SimTime::ZERO,
+                    )
+                })
             })
             .collect();
     }

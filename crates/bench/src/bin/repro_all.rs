@@ -17,6 +17,7 @@ fn main() {
         "repro_fig12",
         "repro_fig13",
         "ablation_fanout",
+        "repro_scenarios",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -148,6 +148,13 @@ impl Outbox {
         self.actions.push(Action::RequestComplete { seq, txns });
     }
 
+    /// Queue a pre-built action. Used by protocol *wrappers* (see
+    /// [`crate::adversary`]) that drain an inner protocol's outbox,
+    /// transform some actions, and re-emit the rest unchanged.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
     /// Drain the accumulated actions.
     pub fn take(&mut self) -> Vec<Action> {
         std::mem::take(&mut self.actions)

@@ -37,6 +37,10 @@ pub fn result_digest(batch_digest: &Digest, effect: &TxnEffect) -> Digest {
                 h.update(&[3u8]);
                 h.update(&n.to_le_bytes());
             }
+            rdb_store::ExecOutcome::Txn(outcome) => {
+                h.update(&[4u8]);
+                h.update(&outcome.canonical_bytes());
+            }
         }
     }
     Digest(h.finalize())

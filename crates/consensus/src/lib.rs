@@ -20,6 +20,7 @@
 //! discrete-event simulator (`rdb-simnet`) or the threaded fabric
 //! (`resilientdb`).
 
+pub mod adversary;
 pub mod api;
 pub mod certificate;
 pub mod checkpoint;
@@ -42,6 +43,7 @@ pub mod zyzzyva;
 #[cfg(test)]
 pub(crate) mod testkit;
 
+pub use adversary::AdversarySpec;
 pub use api::{Action, ClientProtocol, Outbox, ReplicaProtocol, TimerKind};
 pub use certificate::{CommitCertificate, CommitSig};
 pub use checkpoint::{CheckpointTracker, StableCheckpoint};

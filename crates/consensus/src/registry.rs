@@ -43,6 +43,25 @@ pub fn build_geobft_with_faults(
     Box::new(GeoBftReplica::with_faults(cfg, id, crypto, store, faults))
 }
 
+/// Build a replica state machine for `kind`, optionally wrapped in
+/// Byzantine behaviour (see [`crate::adversary`]). `None` builds the
+/// honest replica, so deployment loops can apply per-replica specs
+/// uniformly.
+pub fn build_replica_with_adversary(
+    kind: ProtocolKind,
+    cfg: ProtocolConfig,
+    id: ReplicaId,
+    crypto: CryptoCtx,
+    store: KvStore,
+    spec: Option<&crate::adversary::AdversarySpec>,
+) -> Box<dyn ReplicaProtocol> {
+    let inner = build_replica(kind, cfg, id, crypto, store);
+    match spec {
+        Some(spec) => crate::adversary::apply_adversary(inner, spec),
+        None => inner,
+    }
+}
+
 /// The number of matching replies a client of `kind` needs before
 /// accepting a result.
 pub fn reply_quorum(kind: ProtocolKind, cfg: &ProtocolConfig) -> usize {

@@ -54,6 +54,10 @@ impl Transaction {
             Operation::NoOp => {
                 h.update(&[5u8]);
             }
+            Operation::Txn(prog) => {
+                h.update(&[6u8]);
+                h.update(&prog.canonical_bytes());
+            }
         }
     }
 }
@@ -196,6 +200,21 @@ impl Decision {
     /// Total transactions across all entries.
     pub fn txn_count(&self) -> usize {
         self.entries.iter().map(|e| e.batch.batch.len()).sum()
+    }
+
+    /// Total register-machine instructions across all transaction
+    /// programs in all entries (0 for plain YCSB batches). The simulator
+    /// charges execution time per instruction on top of the
+    /// per-transaction baseline.
+    pub fn program_instrs(&self) -> usize {
+        self.entries
+            .iter()
+            .flat_map(|e| e.batch.batch.operations())
+            .map(|op| match op {
+                Operation::Txn(prog) => prog.cost(),
+                _ => 0,
+            })
+            .sum()
     }
 }
 

@@ -9,6 +9,7 @@ use crate::transport::{DelayFn, InProcTransport};
 use rdb_common::config::SystemConfig;
 use rdb_common::ids::{NodeId, ReplicaId};
 use rdb_common::time::SimDuration;
+use rdb_consensus::adversary::AdversarySpec;
 use rdb_consensus::config::{ExecMode, ProtocolConfig, ProtocolKind};
 use rdb_consensus::crypto_ctx::CryptoCtx;
 use rdb_consensus::registry;
@@ -32,6 +33,8 @@ pub struct DeploymentBuilder {
     seed: u64,
     delay: Option<DelayFn>,
     crash_after: Vec<(ReplicaId, Duration)>,
+    partitions: Vec<(Vec<ReplicaId>, Vec<ReplicaId>, Duration, Duration)>,
+    adversaries: Vec<(ReplicaId, AdversarySpec)>,
     progress_timeout: SimDuration,
     client_retry: SimDuration,
     remote_timeout: SimDuration,
@@ -60,6 +63,8 @@ impl DeploymentBuilder {
             seed: 42,
             delay: None,
             crash_after: Vec::new(),
+            partitions: Vec::new(),
+            adversaries: Vec::new(),
             progress_timeout: SimDuration::from_millis(2_000),
             client_retry: SimDuration::from_millis(4_000),
             remote_timeout: SimDuration::from_millis(1_500),
@@ -208,6 +213,31 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Cut the network between two replica groups from `from` until
+    /// `until` (relative to deployment start), after which the partition
+    /// heals. Client traffic is unaffected — only replica-to-replica
+    /// links crossing the cut drop. Mirrors the simulator's
+    /// `FaultSpec::partition`.
+    pub fn partition(
+        mut self,
+        side_a: Vec<ReplicaId>,
+        side_b: Vec<ReplicaId>,
+        from: Duration,
+        until: Duration,
+    ) -> Self {
+        self.partitions.push((side_a, side_b, from, until));
+        self
+    }
+
+    /// Install Byzantine behaviour on `replica` (a protocol wrapper from
+    /// [`rdb_consensus::adversary`], applied at build time — the same
+    /// wrapper the simulator installs, so attacks replay identically in
+    /// both runtimes).
+    pub fn adversary(mut self, replica: ReplicaId, spec: AdversarySpec) -> Self {
+        self.adversaries.push((replica, spec));
+        self
+    }
+
     /// Shorten protocol timeouts (failure tests).
     pub fn fast_timeouts(mut self) -> Self {
         self.progress_timeout = SimDuration::from_millis(300);
@@ -280,14 +310,34 @@ impl DeploymentBuilder {
                 system: system.clone(),
             };
             let exec_store = KvStore::with_ycsb_records(self.records);
-            let protocol =
-                registry::build_replica(self.kind, cfg.clone(), rid, crypto.preverified(), store);
+            let spec = self
+                .adversaries
+                .iter()
+                .find(|(r, _)| *r == rid)
+                .map(|(_, s)| s);
+            let protocol = registry::build_replica_with_adversary(
+                self.kind,
+                cfg.clone(),
+                rid,
+                crypto.preverified(),
+                store,
+                spec,
+            );
             // The replica's inbox is the bounded input-stage queue.
             let handle = transport.register_bounded(rid.into(), self.pipeline.queues.input);
             prepared.push((protocol, handle, verify, exec_store));
         }
 
         let epoch = Instant::now();
+        // Partition windows are relative to the epoch just taken.
+        for (side_a, side_b, from, until) in self.partitions.drain(..) {
+            transport.partition(
+                side_a.into_iter().map(NodeId::Replica).collect(),
+                side_b.into_iter().map(NodeId::Replica).collect(),
+                from,
+                until,
+            );
+        }
         let mut replicas = Vec::new();
         for (protocol, handle, verify, exec_store) in prepared {
             replicas.push(ReplicaRuntime::spawn(

@@ -24,7 +24,7 @@ use rdb_consensus::stage::Stage;
 use rdb_consensus::types::Decision;
 use rdb_ledger::Ledger;
 use rdb_store::KvStore;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -304,7 +304,9 @@ impl ReplicaRuntime {
                 let mut wheel = TimerWheel::new(epoch);
                 let mut out = Outbox::new();
                 protocol.on_start(wheel.now(), &mut out);
-                process_replica_actions(
+                dispatch_replica_actions(
+                    protocol.as_mut(),
+                    node,
                     out.take(),
                     &mut wheel,
                     &out_tx,
@@ -322,7 +324,9 @@ impl ReplicaRuntime {
                             let (from, msg) = vm.into_parts();
                             let mut out = Outbox::new();
                             protocol.on_message(now, from, msg, &mut out);
-                            process_replica_actions(
+                            dispatch_replica_actions(
+                                protocol.as_mut(),
+                                node,
                                 out.take(),
                                 &mut wheel,
                                 &out_tx,
@@ -339,7 +343,9 @@ impl ReplicaRuntime {
                         let t0 = Instant::now();
                         let mut out = Outbox::new();
                         protocol.on_timer(wheel.now(), kind, &mut out);
-                        process_replica_actions(
+                        dispatch_replica_actions(
+                            protocol.as_mut(),
+                            node,
                             out.take(),
                             &mut wheel,
                             &out_tx,
@@ -379,6 +385,17 @@ impl ReplicaRuntime {
         (report.ledger, report.exec_digest)
     }
 
+    /// Raise the stop flag without joining. Deployment teardown signals
+    /// *every* replica before joining any, so all pipelines stop within
+    /// about one loop iteration of each other; joining one replica's
+    /// (possibly slow, fault-injected) drain while its peers kept
+    /// committing would skew cross-replica watermarks — late-stopped
+    /// replicas' heads would run on while their stable checkpoints froze
+    /// the moment earlier-stopped peers broke the vote quorum.
+    pub fn signal_stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
     /// Like [`ReplicaRuntime::stop`], additionally returning the
     /// checkpoint stage's final state.
     pub fn stop_full(self) -> ReplicaStopReport {
@@ -408,8 +425,61 @@ impl ReplicaRuntime {
     }
 }
 
+/// Run a protocol callback's actions, delivering self-addressed sends
+/// straight back into the protocol until it quiesces.
+///
+/// Protocols multicast votes to *all* members including themselves
+/// (`Outbox::multicast`). Routing that self-edge through the transport
+/// would thread it through the replica's own bounded input queue, closing
+/// a blocking cycle wholly inside one replica — input → work → output →
+/// own input — whose capacity (unlike the cross-replica cycles the queue
+/// design sizes for, see `tests/pipeline_equivalence.rs`) a single
+/// saturated replica can exhaust and deadlock on. A replica's own
+/// messages also need no signature verification, so the worker handles
+/// them inline as ordering work instead.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_replica_actions(
+    protocol: &mut dyn ReplicaProtocol,
+    node: NodeId,
+    actions: Vec<Action>,
+    wheel: &mut TimerWheel,
+    out_tx: &Sender<(NodeId, Message)>,
+    exec_tx: &Sender<Decision>,
+    metrics: &Metrics,
+    queues: &StageQueues,
+) {
+    let mut loopback = VecDeque::new();
+    process_replica_actions(
+        actions,
+        node,
+        &mut loopback,
+        wheel,
+        out_tx,
+        exec_tx,
+        metrics,
+        queues,
+    );
+    while let Some(msg) = loopback.pop_front() {
+        let mut out = Outbox::new();
+        protocol.on_message(wheel.now(), node, msg, &mut out);
+        process_replica_actions(
+            out.take(),
+            node,
+            &mut loopback,
+            wheel,
+            out_tx,
+            exec_tx,
+            metrics,
+            queues,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn process_replica_actions(
     actions: Vec<Action>,
+    node: NodeId,
+    loopback: &mut VecDeque<Message>,
     wheel: &mut TimerWheel,
     out_tx: &Sender<(NodeId, Message)>,
     exec_tx: &Sender<Decision>,
@@ -419,6 +489,7 @@ fn process_replica_actions(
     let (mut sends, mut decisions) = (0u64, 0u64);
     for a in actions {
         match a {
+            Action::Send { to, msg } if to == node => loopback.push_back(msg),
             Action::Send { to, msg } => {
                 // The worker blocks on a full output queue (its wait is
                 // the Output stage's blocked_ns); a Shed policy may drop

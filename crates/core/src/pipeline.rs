@@ -50,7 +50,7 @@ use rdb_consensus::types::Decision;
 use rdb_crypto::digest::Digest;
 use rdb_ledger::Ledger;
 use rdb_store::lanes::{self as store_lanes, LaneItem};
-use rdb_store::{KvStore, Operation};
+use rdb_store::{KvStore, Operation, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -494,12 +494,25 @@ fn run_sequential_executor(
 //
 // Out-of-order completion is bounded by the reorder window W
 // (PipelineConfig::reorder_window — the exec queue's capacity): at most W
-// decisions are in flight between dispatch and retirement, so each
-// lane's job queue is bounded by W as well and dispatch sends never park
-// (no scheduler/lane deadlock by construction). Retirement performs the
-// ledger append and Stage::Execute accounting in commit order, which
-// keeps the ledger, checkpoint interval boundaries, and the execution
-// audit byte-identical to the sequential executor above.
+// decisions are in flight between dispatch and retirement. Lane job
+// queues are bounded too; a full queue parks the *scheduler* only, and
+// lane threads always drain (their completion/reply channels never
+// block), so the scheduler/lane graph stays deadlock-free. Retirement
+// performs the ledger append and Stage::Execute accounting in commit
+// order, which keeps the ledger, checkpoint interval boundaries, and the
+// execution audit byte-identical to the sequential executor above.
+//
+// Cross-lane transaction programs (rdb_store::txn) are synchronization
+// points within their decision: the scheduler follows the batch's
+// execution plan (rdb_store::lanes::plan_batch), and for each
+// PlanStep::Program it *gathers* the program's static read footprint from
+// the owning lanes (a Gather job rides each lane's FIFO, so it observes
+// exactly the writes of every earlier operation), evaluates the register
+// machine once on the scheduler, and *scatters* the write set back as
+// Program jobs — which again ride the FIFOs, so every later operation
+// observes them. The home lane's Program job also carries the stats
+// note, keeping merged lane statistics identical to sequential
+// execution.
 
 /// A lane's answer to a checkpoint barrier: its index, its 40-byte
 /// fingerprint part, and (when snapshots are retained) a clone of its
@@ -513,6 +526,22 @@ enum LaneJob {
     Apply {
         id: u64,
         items: Vec<LaneItem>,
+        fingerprint: bool,
+    },
+    /// Read the lane-owned keys of a cross-lane program's footprint and
+    /// reply with their current values. The reply channel is the
+    /// completion signal — no `LaneDone` is sent.
+    Gather {
+        keys: Vec<u64>,
+        reply: Sender<Vec<(u64, Option<Value>)>>,
+    },
+    /// Scatter a cross-lane program's lane-owned writes (possibly empty)
+    /// onto this lane; `note` is `Some(aborted)` on the program's home
+    /// lane, which owns the stats bump.
+    Program {
+        id: u64,
+        writes: Vec<(u64, Value)>,
+        note: Option<bool>,
         fingerprint: bool,
     },
     /// Checkpoint barrier (queue already drained): report the lane's
@@ -533,11 +562,26 @@ struct LaneDone {
 /// One in-flight decision in the reorder window.
 struct InFlight {
     decision: Decision,
-    /// Lanes still executing this decision's items.
-    waiting: u64,
-    /// Scheduler-side partition + dispatch cost, folded into the
-    /// decision's Stage::Execute busy time at retirement.
+    /// Outstanding jobs per lane for this decision (a decision with
+    /// cross-lane programs dispatches several jobs to the same lane:
+    /// its plan's `Items` segments plus program write scatters).
+    waiting: Vec<u16>,
+    /// Total outstanding jobs; the decision is ready to retire at 0.
+    left: u32,
+    /// Scheduler-side partition + dispatch + program-evaluation cost,
+    /// folded into the decision's Stage::Execute busy time at retirement.
     dispatch: Duration,
+}
+
+impl InFlight {
+    /// Bitmask of lanes this decision is still waiting on.
+    fn waiting_mask(&self) -> u64 {
+        self.waiting
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .fold(0u64, |m, (lane, _)| m | 1u64 << lane)
+    }
 }
 
 fn lane_loop(
@@ -559,6 +603,34 @@ fn lane_loop(
                 for item in &items {
                     store.execute_partial(&item.op, item.home, fingerprint);
                 }
+                metrics.lane_batch(lane, ops, t0.elapsed());
+                if done.send(LaneDone { lane, id }).is_err() {
+                    break; // scheduler gone: shutting down
+                }
+            }
+            LaneJob::Gather { keys, reply } => {
+                let values = keys.iter().map(|&k| (k, store.get(k))).collect();
+                let _ = reply.send(values);
+            }
+            LaneJob::Program {
+                id,
+                writes,
+                note,
+                fingerprint,
+            } => {
+                let t0 = Instant::now();
+                for (key, value) in &writes {
+                    store.apply_program_write(*key, *value, fingerprint);
+                }
+                // The home lane counts the program as one op, like the
+                // sequential per-operation accounting.
+                let ops = match note {
+                    Some(aborted) => {
+                        store.note_program(aborted);
+                        1
+                    }
+                    None => 0,
+                };
                 metrics.lane_batch(lane, ops, t0.elapsed());
                 if done.send(LaneDone { lane, id }).is_err() {
                     break; // scheduler gone: shutting down
@@ -599,9 +671,11 @@ fn run_lane_pool(
     let mut job_txs: Vec<Sender<LaneJob>> = Vec::with_capacity(lanes);
     let mut lane_handles: Vec<JoinHandle<KvStore>> = Vec::with_capacity(lanes);
     for (lane, lane_store) in lane_stores.into_iter().enumerate() {
-        // Window-bounded FIFO: at most `window` decisions are in flight
-        // and each sends this lane at most one job, so dispatch sends
-        // never block (the +1 covers the barrier probe).
+        // Window-bounded FIFO: at most `window` decisions are in flight;
+        // a plain decision sends this lane at most one job (the +1 covers
+        // the barrier probe), so its dispatch never blocks. Decisions with
+        // cross-lane programs may send several jobs and can park the
+        // scheduler on a full FIFO — safe, because lanes always drain.
         let (tx, rx) = crossbeam::channel::bounded::<LaneJob>(window + 1);
         let done = done_tx.clone();
         let lane_metrics = metrics.clone();
@@ -625,7 +699,9 @@ fn run_lane_pool(
     // Mark a completion against the window.
     let mark = |window_q: &mut VecDeque<InFlight>, retired: u64, done: LaneDone| {
         let idx = (done.id - retired) as usize;
-        window_q[idx].waiting &= !(1u64 << done.lane);
+        let f = &mut window_q[idx];
+        f.waiting[done.lane] -= 1;
+        f.left -= 1;
     };
     // Retire every ready decision at the window head, in commit order:
     // append to the shared ledger and account the Execute stage exactly
@@ -633,7 +709,7 @@ fn run_lane_pool(
     let retire_ready =
         |window_q: &mut VecDeque<InFlight>, retired: &mut u64, ledger: &Mutex<Ledger>| -> u64 {
             let mut height = 0;
-            while window_q.front().is_some_and(|f| f.waiting == 0) {
+            while window_q.front().is_some_and(|f| f.left == 0) {
                 let f = window_q.pop_front().expect("checked front");
                 let t0 = Instant::now();
                 {
@@ -649,7 +725,7 @@ fn run_lane_pool(
     // Block until one completion arrives, attributing the wait to the
     // lanes the window head is still missing (the conflict stall).
     let wait_one = |window_q: &mut VecDeque<InFlight>, retired: u64| -> bool {
-        let head_mask = window_q.front().map_or(0, |f| f.waiting);
+        let head_mask = window_q.front().map_or(0, |f| f.waiting_mask());
         let t0 = Instant::now();
         match done_rx.recv() {
             Ok(done) => {
@@ -676,24 +752,90 @@ fn run_lane_pool(
             .flat_map(|e| e.batch.batch.operations())
             .cloned()
             .collect();
-        let parts = store_lanes::partition_batch(&ops, lanes);
-        let mut waiting = 0u64;
-        for (lane, items) in parts.into_iter().enumerate() {
-            if items.is_empty() {
-                continue;
+        let plan = store_lanes::plan_batch(&ops, lanes);
+        let mut waiting = vec![0u16; lanes];
+        let mut left = 0u32;
+        for step in plan {
+            match step {
+                store_lanes::PlanStep::Items(parts) => {
+                    for (lane, items) in parts.into_iter().enumerate() {
+                        if items.is_empty() {
+                            continue;
+                        }
+                        waiting[lane] += 1;
+                        left += 1;
+                        job_txs[lane]
+                            .send(LaneJob::Apply {
+                                id: next_id,
+                                items,
+                                fingerprint,
+                            })
+                            .expect("lane thread alive");
+                    }
+                }
+                store_lanes::PlanStep::Program(step) => {
+                    // Gather the static footprint from the owning lanes.
+                    // The Gather job rides each lane's FIFO behind every
+                    // earlier job of this (and prior) decisions, so the
+                    // values it reads are exactly the sequential state.
+                    let mut lane_keys: Vec<Vec<u64>> = vec![Vec::new(); lanes];
+                    for key in step.prog.keys() {
+                        lane_keys[store_lanes::lane_of(key, lanes)].push(key);
+                    }
+                    let (reply_tx, reply_rx) =
+                        crossbeam::channel::bounded::<Vec<(u64, Option<Value>)>>(lanes);
+                    let mut expected = 0;
+                    for (lane, keys) in lane_keys.into_iter().enumerate() {
+                        if keys.is_empty() {
+                            continue;
+                        }
+                        expected += 1;
+                        job_txs[lane]
+                            .send(LaneJob::Gather {
+                                keys,
+                                reply: reply_tx.clone(),
+                            })
+                            .expect("lane thread alive");
+                    }
+                    drop(reply_tx);
+                    let mut values: BTreeMap<u64, Option<Value>> = BTreeMap::new();
+                    for _ in 0..expected {
+                        for (key, value) in reply_rx.recv().expect("lane thread alive") {
+                            values.insert(key, value);
+                        }
+                    }
+                    // Evaluate once on the scheduler, then scatter the
+                    // write set back onto the owning lanes; the home lane
+                    // additionally books the program's stats.
+                    let (outcome, writes) =
+                        step.prog.eval_values(|k| values.get(&k).copied().flatten());
+                    let mut lane_writes: Vec<Vec<(u64, Value)>> = vec![Vec::new(); lanes];
+                    for (key, value) in writes {
+                        lane_writes[store_lanes::lane_of(key, lanes)].push((key, value));
+                    }
+                    for (lane, writes) in lane_writes.into_iter().enumerate() {
+                        let note = (lane == step.home).then(|| outcome.is_aborted());
+                        if writes.is_empty() && note.is_none() {
+                            continue;
+                        }
+                        waiting[lane] += 1;
+                        left += 1;
+                        job_txs[lane]
+                            .send(LaneJob::Program {
+                                id: next_id,
+                                writes,
+                                note,
+                                fingerprint,
+                            })
+                            .expect("lane thread alive");
+                    }
+                }
             }
-            waiting |= 1u64 << lane;
-            job_txs[lane]
-                .send(LaneJob::Apply {
-                    id: next_id,
-                    items,
-                    fingerprint,
-                })
-                .expect("lane thread alive");
         }
         window_q.push_back(InFlight {
             decision,
             waiting,
+            left,
             dispatch: t0.elapsed(),
         });
         next_id += 1;
@@ -800,6 +942,12 @@ pub struct CheckpointReport {
     /// memory watermark — bounded by in-flight checkpoints, not by run
     /// length).
     pub tracked: usize,
+    /// Highest snapshot height this replica's *own* checkpoint thread
+    /// pulled off its queue (0 before any). This is the local throttle
+    /// watermark: the Block-policy checkpoint queue bounds how far the
+    /// executor's head can run past it, independent of whether a quorum
+    /// of peers kept pace to certify those heights.
+    pub processed_height: u64,
 }
 
 /// Spawn the checkpoint stage: snapshot jobs and peer votes →
@@ -848,6 +996,7 @@ pub(crate) fn spawn_checkpointer(
             // once the executor catches up.
             let mut unresolved: VecDeque<StableCheckpoint> = VecDeque::new();
             let mut prev_stable = 0u64;
+            let mut processed_height = 0u64;
             // Votes a full peer inbox handed back; retried every loop
             // iteration (the checkpoint stage's own "retransmission").
             let mut held: VecDeque<(NodeId, Message)> = VecDeque::new();
@@ -868,6 +1017,7 @@ pub(crate) fn spawn_checkpointer(
                         if !cfg.fault_delay.is_zero() {
                             std::thread::sleep(cfg.fault_delay); // injected fault
                         }
+                        processed_height = processed_height.max(height);
                         if tracker.record_own(height, state) {
                             if let Some(s) = snapshot {
                                 pending_snapshots.insert(height, s);
@@ -969,6 +1119,7 @@ pub(crate) fn spawn_checkpointer(
                 certified,
                 snapshot: stable_snapshot,
                 tracked: tracker.tracked().max(pending_snapshots.len()),
+                processed_height,
             }
         })
         .expect("spawn checkpoint thread")

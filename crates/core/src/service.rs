@@ -626,6 +626,24 @@ impl Fabric {
     /// over the running fabric. Call repeatedly to add load; every client
     /// keeps submitting until [`Fabric::shutdown`].
     pub fn spawn_ycsb_clients(&self, count: usize) {
+        let ycsb = self.ycsb.clone();
+        self.spawn_source_clients(count, move |cid, seed| {
+            batch_source(ycsb.clone(), cid, seed)
+        });
+    }
+
+    /// Spawn `count` closed-loop clients whose batches come from a custom
+    /// per-client source (`factory(client, seed)`), spread round-robin
+    /// over the clusters with the *same* client identities and seed the
+    /// simulator's `Scenario` assigns — so a deployment driven by the
+    /// same factory in both runtimes proposes byte-identical batches.
+    /// The scenario harness uses this for SmallBank-style
+    /// transaction-program workloads.
+    pub fn spawn_source_clients(
+        &self,
+        count: usize,
+        factory: impl Fn(ClientId, u64) -> rdb_consensus::clients::BatchSource,
+    ) {
         let z = self.system.z();
         let offset = self.next_ycsb_client.fetch_add(count, Ordering::Relaxed);
         let mut clients = self.clients.lock();
@@ -633,7 +651,7 @@ impl Fabric {
             let cid = ClientId::new((i % z) as u16, (i / z) as u32);
             let signer = self.keystore.register(cid.into());
             let crypto = CryptoCtx::new(signer, self.keystore.verifier(), self.check_sigs);
-            let source = batch_source(self.ycsb.clone(), cid, self.seed);
+            let source = factory(cid, self.seed);
             let protocol = registry::build_client(self.kind, self.cfg.clone(), cid, crypto, source);
             let handle = self.transport.register(cid.into());
             clients.push(ClientRuntime::spawn(
@@ -666,7 +684,14 @@ impl Fabric {
         for c in std::mem::take(&mut *self.clients.lock()) {
             c.stop();
         }
-        let stopped = std::mem::take(&mut self.replicas)
+        // Two-phase replica stop: signal everyone, then join. See
+        // `ReplicaRuntime::signal_stop` for why joining one replica while
+        // its peers keep running would skew cross-replica watermarks.
+        let replicas = std::mem::take(&mut self.replicas);
+        for r in &replicas {
+            r.signal_stop();
+        }
+        let stopped = replicas
             .into_iter()
             .map(|r| {
                 let node = r.node();

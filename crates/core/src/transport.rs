@@ -79,11 +79,38 @@ struct InboxEntry {
     policy: Option<QueuePolicy>,
 }
 
+/// A scheduled bidirectional cut between two node groups: messages
+/// crossing the cut are dropped while `from <= now < until`, after which
+/// the partition heals. The check happens at *send* time — matching the
+/// simulator's `FaultSpec::partition`, which drops at route time — so
+/// traffic already in the delay wheel when the cut starts still arrives.
+struct Partition {
+    side_a: Vec<NodeId>,
+    side_b: Vec<NodeId>,
+    from: Instant,
+    until: Instant,
+}
+
+impl Partition {
+    fn cuts(&self, now: Instant, from: NodeId, to: NodeId) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        (self.side_a.contains(&from) && self.side_b.contains(&to))
+            || (self.side_b.contains(&from) && self.side_a.contains(&to))
+    }
+}
+
 struct Shared {
     inboxes: Mutex<HashMap<NodeId, InboxEntry>>,
     delay: Option<DelayFn>,
     wheel: Mutex<BinaryHeap<Reverse<DelayedEntry>>>,
     wheel_cv: Condvar,
+    /// Scheduled network partitions. `partitioned` short-circuits the
+    /// per-send check so the common (no faults) path never takes the
+    /// lock.
+    partitions: Mutex<Vec<Partition>>,
+    partitioned: AtomicBool,
     running: AtomicBool,
     seq: std::sync::atomic::AtomicU64,
     /// When attached, replica-bound deliveries count as input-stage
@@ -128,6 +155,8 @@ impl InProcTransport {
                 delay,
                 wheel: Mutex::new(BinaryHeap::new()),
                 wheel_cv: Condvar::new(),
+                partitions: Mutex::new(Vec::new()),
+                partitioned: AtomicBool::new(false),
                 running: AtomicBool::new(true),
                 seq: std::sync::atomic::AtomicU64::new(0),
                 metrics: metrics.unwrap_or_default(),
@@ -174,8 +203,47 @@ impl InProcTransport {
         }
     }
 
+    /// Schedule a bidirectional partition between `side_a` and `side_b`:
+    /// messages crossing the cut are dropped from `from` until `until`
+    /// (both relative to now, i.e. to deployment start when called from
+    /// the builder), after which the link heals. Mirrors the simulator's
+    /// `FaultSpec::partition` so one scenario script can inject the same
+    /// fault in both runtimes.
+    pub fn partition(
+        &self,
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        from: Duration,
+        until: Duration,
+    ) {
+        let now = Instant::now();
+        self.shared.partitions.lock().push(Partition {
+            side_a,
+            side_b,
+            from: now + from,
+            until: now + until,
+        });
+        self.shared.partitioned.store(true, Ordering::SeqCst);
+    }
+
+    /// True when a currently-active partition cuts the `from -> to` link.
+    fn is_cut(&self, from: NodeId, to: NodeId) -> bool {
+        if !self.shared.partitioned.load(Ordering::Relaxed) {
+            return false;
+        }
+        let now = Instant::now();
+        self.shared
+            .partitions
+            .lock()
+            .iter()
+            .any(|p| p.cuts(now, from, to))
+    }
+
     /// Send an envelope (applying the delay policy).
     pub fn send(&self, env: Envelope) {
+        if self.is_cut(env.from, env.to) {
+            return; // dropped at the cut, like a crashed link
+        }
         let delay = self
             .shared
             .delay
@@ -240,6 +308,9 @@ impl InProcTransport {
     /// blocking here is exactly the cross-replica cycle the queue design
     /// forbids (see [`crate::queue`]).
     pub fn try_send(&self, env: Envelope) -> bool {
+        if self.is_cut(env.from, env.to) {
+            return true; // dropped at the cut: accounted for
+        }
         let delay = self
             .shared
             .delay
@@ -574,6 +645,25 @@ mod tests {
         );
         assert!(hb.inbox.recv_timeout(Duration::from_millis(100)).is_err());
         t.shutdown();
+    }
+
+    #[test]
+    fn partition_drops_then_heals() {
+        let t = InProcTransport::new(None);
+        let a: NodeId = ReplicaId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(0, 1).into();
+        let ha = t.register(a);
+        let hb = t.register(b);
+        t.partition(vec![a], vec![b], Duration::ZERO, Duration::from_millis(150));
+        // During the cut both directions drop.
+        ha.send(b, Message::Noop);
+        hb.send(a, Message::Noop);
+        assert!(hb.inbox.recv_timeout(Duration::from_millis(50)).is_err());
+        assert!(ha.inbox.recv_timeout(Duration::from_millis(50)).is_err());
+        // After `until` the partition heals.
+        std::thread::sleep(Duration::from_millis(120));
+        ha.send(b, Message::Noop);
+        assert!(hb.inbox.recv_timeout(Duration::from_secs(1)).is_ok());
     }
 
     #[test]

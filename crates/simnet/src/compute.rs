@@ -189,6 +189,12 @@ pub struct ComputeModel {
     pub send_ns: u64,
     /// Cost of executing one transaction against the store.
     pub exec_ns_per_txn: u64,
+    /// Additional cost per transaction-program *instruction* (see
+    /// `rdb_store::txn`): a program is charged `exec_ns_per_txn` as a
+    /// transaction plus this per instruction executed conservatively
+    /// (static instruction count). Zero for YCSB workloads, so paper
+    /// reproductions are unaffected.
+    pub exec_ns_per_instr: u64,
     /// Cost of one pipeline checkpoint (snapshot digest + certification
     /// bookkeeping + compaction), charged on the dedicated checkpoint
     /// horizon when [`PipelineModel::checkpoint_interval`] is nonzero.
@@ -207,6 +213,9 @@ impl Default for ComputeModel {
             recv_ns: 8_000,
             send_ns: 6_000,
             exec_ns_per_txn: 2_000,
+            // A register-machine instruction is a small fraction of a
+            // whole YCSB query (hash probe + copy).
+            exec_ns_per_instr: 250,
             // ~the cost of digesting and broadcasting one compact state
             // snapshot (a few signature-equivalents); only charged when
             // the modeled checkpoint stage is enabled.
@@ -279,6 +288,14 @@ impl ComputeModel {
     /// Cost of executing `txns` transactions.
     pub fn exec_cost(&self, txns: usize) -> u64 {
         self.exec_ns_per_txn * txns as u64
+    }
+
+    /// Cost of executing one decision: its transactions plus the
+    /// register-machine instructions of any transaction programs they
+    /// carry. Equals [`ComputeModel::exec_cost`] for program-free
+    /// batches, keeping YCSB reproductions byte-identical.
+    pub fn exec_cost_decision(&self, txns: usize, program_instrs: usize) -> u64 {
+        self.exec_cost(txns) + self.exec_ns_per_instr * program_instrs as u64
     }
 }
 

@@ -453,7 +453,8 @@ impl Engine {
                     // stage's *materialization* (table apply + ledger
                     // append), which is what the staged fabric moved off
                     // the worker's critical path.
-                    let exec = model.exec_cost(decision.txn_count());
+                    let exec =
+                        model.exec_cost_decision(decision.txn_count(), decision.program_instrs());
                     cursor += SimDuration(model.wall(exec));
                     if model.pipeline.dedicated_execution {
                         cursor = self.charge_execution(node, &model, &decision, cursor);
@@ -560,14 +561,23 @@ impl Engine {
             }
         }
         let retire = if lanes <= 1 {
-            let exec = model.exec_cost(decision.txn_count());
+            let exec = model.exec_cost_decision(decision.txn_count(), decision.program_instrs());
             state.exec_lane_free[0] = state.exec_lane_free[0].max(cursor) + SimDuration(exec);
             state.exec_lane_free[0]
         } else {
+            // Per-lane work: each transaction is charged to its home lane;
+            // transaction-program instructions are charged to the program's
+            // home lane (the scheduler serializes cross-lane programs, so
+            // the home lane carries the whole program's cost).
             let mut lane_txns = vec![0u64; lanes];
+            let mut lane_instrs = vec![0u64; lanes];
             for e in &decision.entries {
                 for op in e.batch.batch.operations() {
-                    lane_txns[rdb_store::lanes::home_lane(op, lanes)] += 1;
+                    let home = rdb_store::lanes::home_lane(op, lanes);
+                    lane_txns[home] += 1;
+                    if let rdb_store::Operation::Txn(prog) = op {
+                        lane_instrs[home] += prog.cost() as u64;
+                    }
                 }
             }
             let mut finish = cursor;
@@ -576,7 +586,9 @@ impl Engine {
                     continue;
                 }
                 let f = state.exec_lane_free[lane].max(cursor)
-                    + SimDuration(model.exec_ns_per_txn * txns);
+                    + SimDuration(
+                        model.exec_ns_per_txn * txns + model.exec_ns_per_instr * lane_instrs[lane],
+                    );
                 state.exec_lane_free[lane] = f;
                 finish = finish.max(f);
             }

@@ -23,7 +23,8 @@ pub enum FaultSpec {
         replica: ReplicaId,
     },
     /// Drop every message between two replicas (asymmetric link failure /
-    /// partition building block), starting at `from_time`.
+    /// partition building block), starting at `from_time` and healing at
+    /// `until` (`None` = never heals).
     DropLink {
         /// Sender side.
         a: ReplicaId,
@@ -31,6 +32,8 @@ pub enum FaultSpec {
         b: ReplicaId,
         /// When the link goes dark.
         from_time: SimTime,
+        /// When the link heals (exclusive); `None` for a permanent cut.
+        until: Option<SimTime>,
     },
 }
 
@@ -42,13 +45,50 @@ impl FaultSpec {
             at: SimTime((secs * 1e9) as u64),
         }
     }
+
+    /// Convenience: a permanent directional link cut.
+    pub fn drop_link(a: ReplicaId, b: ReplicaId, from_time: SimTime) -> FaultSpec {
+        FaultSpec::DropLink {
+            a,
+            b,
+            from_time,
+            until: None,
+        }
+    }
+
+    /// A full bidirectional partition between two replica groups over
+    /// `[from, until)`: every cross-group link drops in both directions,
+    /// then heals. Retransmission timers re-deliver what was lost, so a
+    /// healed partition must converge back to one ledger — the scenario
+    /// suite asserts exactly that.
+    pub fn partition(
+        side_a: &[ReplicaId],
+        side_b: &[ReplicaId],
+        from: SimTime,
+        until: SimTime,
+    ) -> Vec<FaultSpec> {
+        let mut out = Vec::with_capacity(side_a.len() * side_b.len() * 2);
+        for &a in side_a {
+            for &b in side_b {
+                for (x, y) in [(a, b), (b, a)] {
+                    out.push(FaultSpec::DropLink {
+                        a: x,
+                        b: y,
+                        from_time: from,
+                        until: Some(until),
+                    });
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Runtime fault state consulted by the engine on every delivery.
 #[derive(Debug, Default)]
 pub struct FaultState {
     crashes: Vec<(ReplicaId, SimTime)>,
-    drops: Vec<(ReplicaId, ReplicaId, SimTime)>,
+    drops: Vec<(ReplicaId, ReplicaId, SimTime, Option<SimTime>)>,
 }
 
 impl FaultState {
@@ -59,7 +99,12 @@ impl FaultState {
         for s in specs {
             match s {
                 FaultSpec::Crash { replica, at } => fs.crashes.push((*replica, *at)),
-                FaultSpec::DropLink { a, b, from_time } => fs.drops.push((*a, *b, *from_time)),
+                FaultSpec::DropLink {
+                    a,
+                    b,
+                    from_time,
+                    until,
+                } => fs.drops.push((*a, *b, *from_time, *until)),
                 FaultSpec::SuppressGlobalShare { .. } => {}
             }
         }
@@ -73,9 +118,9 @@ impl FaultState {
 
     /// Should a message from `a` to `b` be dropped at `now`?
     pub fn is_dropped(&self, a: ReplicaId, b: ReplicaId, now: SimTime) -> bool {
-        self.drops
-            .iter()
-            .any(|(x, y, at)| *x == a && *y == b && now >= *at)
+        self.drops.iter().any(|(x, y, at, until)| {
+            *x == a && *y == b && now >= *at && until.is_none_or(|u| now < u)
+        })
     }
 }
 
@@ -96,12 +141,22 @@ mod tests {
     fn link_drops_are_directional() {
         let a = ReplicaId::new(0, 0);
         let b = ReplicaId::new(1, 0);
-        let fs = FaultState::new(&[FaultSpec::DropLink {
-            a,
-            b,
-            from_time: SimTime::ZERO,
-        }]);
+        let fs = FaultState::new(&[FaultSpec::drop_link(a, b, SimTime::ZERO)]);
         assert!(fs.is_dropped(a, b, SimTime(1)));
         assert!(!fs.is_dropped(b, a, SimTime(1)));
+    }
+
+    #[test]
+    fn partitions_heal() {
+        let a = ReplicaId::new(0, 0);
+        let b = ReplicaId::new(0, 1);
+        let specs = FaultSpec::partition(&[a], &[b], SimTime(100), SimTime(200));
+        assert_eq!(specs.len(), 2, "both directions cut");
+        let fs = FaultState::new(&specs);
+        assert!(!fs.is_dropped(a, b, SimTime(99)));
+        assert!(fs.is_dropped(a, b, SimTime(100)));
+        assert!(fs.is_dropped(b, a, SimTime(199)));
+        assert!(!fs.is_dropped(a, b, SimTime(200)), "healed");
+        assert!(!fs.is_dropped(b, a, SimTime(250)));
     }
 }

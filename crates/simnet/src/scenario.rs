@@ -18,6 +18,8 @@ use crate::topology::Topology;
 use rdb_common::config::SystemConfig;
 use rdb_common::ids::{ClientId, ReplicaId};
 use rdb_common::time::{SimDuration, SimTime};
+use rdb_consensus::adversary::AdversarySpec;
+use rdb_consensus::clients::BatchSource;
 use rdb_consensus::config::{ExecMode, ProtocolConfig, ProtocolKind};
 use rdb_consensus::crypto_ctx::CryptoCtx;
 use rdb_consensus::geobft::GeoFaults;
@@ -84,6 +86,15 @@ pub struct Scenario {
     pub track_ledgers: bool,
     /// With `ExecMode::Real`, preload this many YCSB records per replica.
     pub real_exec_records: u64,
+    /// Byzantine behaviour per replica (see
+    /// [`rdb_consensus::adversary`]); applied as protocol wrappers at
+    /// deployment time.
+    pub adversaries: Vec<(ReplicaId, AdversarySpec)>,
+    /// Replace the YCSB workload with a custom per-client batch source
+    /// (`factory(client, seed)`); used by the scenario harness for
+    /// SmallBank-style transaction-program workloads. `Arc` so
+    /// [`Scenario`] stays `Clone`.
+    pub source_factory: Option<std::sync::Arc<dyn Fn(ClientId, u64) -> BatchSource + Send + Sync>>,
 }
 
 impl Scenario {
@@ -111,6 +122,8 @@ impl Scenario {
             ycsb: YcsbConfig::default(),
             track_ledgers: false,
             real_exec_records: 1_000,
+            adversaries: Vec::new(),
+            source_factory: None,
         }
     }
 
@@ -193,6 +206,11 @@ impl Scenario {
             } else {
                 KvStore::new() // Modeled execution: state untouched.
             };
+            let adversary = self
+                .adversaries
+                .iter()
+                .find(|(r, _)| *r == rid)
+                .map(|(_, spec)| spec);
             let replica = if self.kind == ProtocolKind::GeoBft && suppressors.contains(&rid) {
                 registry::build_geobft_with_faults(
                     self.cfg.clone(),
@@ -204,7 +222,14 @@ impl Scenario {
                     },
                 )
             } else {
-                registry::build_replica(self.kind, self.cfg.clone(), rid, crypto, store)
+                registry::build_replica_with_adversary(
+                    self.kind,
+                    self.cfg.clone(),
+                    rid,
+                    crypto,
+                    store,
+                    adversary,
+                )
             };
             engine.add_replica(replica);
         }
@@ -215,7 +240,10 @@ impl Scenario {
             let cid = ClientId::new((i % z) as u16, (i / z) as u32);
             let signer = ks.register(cid.into());
             let crypto = CryptoCtx::new(signer, ks.verifier(), false);
-            let source = batch_source(self.ycsb.clone(), cid, self.seed);
+            let source = match &self.source_factory {
+                Some(factory) => factory(cid, self.seed),
+                None => batch_source(self.ycsb.clone(), cid, self.seed),
+            };
             engine.add_client(registry::build_client(
                 self.kind,
                 self.cfg.clone(),

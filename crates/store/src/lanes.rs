@@ -22,6 +22,7 @@
 
 use crate::ops::{ExecOutcome, Operation, TxnEffect};
 use crate::table::KvStore;
+use crate::txn::TxnProgram;
 
 /// Upper bound on lane count: lane footprints travel as `u64` bitmasks.
 pub const MAX_LANES: usize = 64;
@@ -71,6 +72,12 @@ pub fn lane_mask(ops: &[Operation], lanes: usize) -> u64 {
                     mask |= 1 << lane_of(k, lanes);
                 }
             }
+            Operation::Txn(prog) => {
+                mask |= 1 << home_lane(op, lanes);
+                for key in prog.keys() {
+                    mask |= 1 << lane_of(key, lanes);
+                }
+            }
             _ => mask |= 1 << home_lane(op, lanes),
         }
         if mask == ((1u128 << lanes) - 1) as u64 {
@@ -80,14 +87,41 @@ pub fn lane_mask(ops: &[Operation], lanes: usize) -> u64 {
     mask
 }
 
+/// The lanes a program's static footprint spans. `None` when the program
+/// fits a single lane (or touches no keys): such programs execute
+/// lane-locally like any other operation.
+pub fn program_span(prog: &TxnProgram, lanes: usize) -> Option<u64> {
+    let mut mask = 0u64;
+    for key in prog.keys() {
+        mask |= 1 << lane_of(key, lanes);
+    }
+    (mask.count_ones() > 1).then_some(mask)
+}
+
 /// Fan a batch's operations out to `lanes` work lists, preserving batch
 /// order within each lane. Single-key operations go to their home lane
 /// only; scans go to every lane whose keys the range crosses (the first
 /// `min(count, lanes)` keys of a contiguous range already visit each such
 /// lane), with the home lane always included so empty scans still count.
+///
+/// Transaction programs are routed to their home lane, which is only
+/// correct when their footprint fits that lane — batches that may carry
+/// cross-lane programs must go through [`plan_batch`] instead.
 pub fn partition_batch(ops: &[Operation], lanes: usize) -> Vec<Vec<LaneItem>> {
     let mut out: Vec<Vec<LaneItem>> = (0..lanes).map(|_| Vec::new()).collect();
-    for (op_index, op) in ops.iter().enumerate() {
+    route_ops(ops.iter().enumerate(), lanes, &mut out);
+    out
+}
+
+/// Route `(op_index, op)` pairs into per-lane work lists (the body of
+/// [`partition_batch`], reused by [`plan_batch`] for the segments between
+/// cross-lane programs).
+fn route_ops<'a>(
+    ops: impl Iterator<Item = (usize, &'a Operation)>,
+    lanes: usize,
+    out: &mut [Vec<LaneItem>],
+) {
+    for (op_index, op) in ops {
         match op {
             Operation::Scan { key, count } => {
                 let home = lane_of(*key, lanes);
@@ -117,7 +151,79 @@ pub fn partition_batch(ops: &[Operation], lanes: usize) -> Vec<Vec<LaneItem>> {
             }
         }
     }
-    out
+}
+
+/// A program whose static footprint spans multiple lanes: the executor
+/// must gather its reads from their owning lanes, evaluate once, and
+/// scatter the writes back — after every earlier operation on those lanes
+/// and before every later one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramStep {
+    /// Index of the program's operation within the original batch.
+    pub op_index: usize,
+    /// The program.
+    pub prog: TxnProgram,
+    /// The home lane (owns stats and the `applied_txns` count).
+    pub home: usize,
+    /// Bitmask of lanes the footprint spans.
+    pub span: u64,
+}
+
+/// One step of a batch execution plan (see [`plan_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Lane-local items (indexed by lane), freely executable in parallel
+    /// across lanes; per-lane order is batch order.
+    Items(Vec<Vec<LaneItem>>),
+    /// A cross-lane program — a synchronization point between the
+    /// surrounding [`PlanStep::Items`] segments.
+    Program(ProgramStep),
+}
+
+/// Compile a batch into an ordered execution plan. Operations between
+/// cross-lane programs form [`PlanStep::Items`] segments with the exact
+/// [`partition_batch`] routing; each cross-lane program becomes its own
+/// [`PlanStep::Program`]. Programs whose footprint fits one lane stay
+/// ordinary lane items. For a batch without cross-lane programs the plan
+/// is a single `Items` step identical to [`partition_batch`].
+pub fn plan_batch(ops: &[Operation], lanes: usize) -> Vec<PlanStep> {
+    let mut plan = Vec::new();
+    let mut segment: Vec<Vec<LaneItem>> = (0..lanes).map(|_| Vec::new()).collect();
+    let mut segment_empty = true;
+    for (op_index, op) in ops.iter().enumerate() {
+        let cross = match op {
+            Operation::Txn(prog) => program_span(prog, lanes),
+            _ => None,
+        };
+        match cross {
+            Some(span) => {
+                if !segment_empty {
+                    plan.push(PlanStep::Items(std::mem::replace(
+                        &mut segment,
+                        (0..lanes).map(|_| Vec::new()).collect(),
+                    )));
+                    segment_empty = true;
+                }
+                let Operation::Txn(prog) = op else {
+                    unreachable!("cross is Some only for Txn")
+                };
+                plan.push(PlanStep::Program(ProgramStep {
+                    op_index,
+                    prog: prog.clone(),
+                    home: home_lane(op, lanes),
+                    span,
+                }));
+            }
+            None => {
+                route_ops(std::iter::once((op_index, op)), lanes, &mut segment);
+                segment_empty = false;
+            }
+        }
+    }
+    if !segment_empty {
+        plan.push(PlanStep::Items(segment));
+    }
+    plan
 }
 
 /// Reassemble per-lane outcomes into the batch's [`TxnEffect`], in
@@ -135,6 +241,17 @@ pub fn assemble_effect(
             _ => ExecOutcome::Done,
         })
         .collect();
+    fold_outcomes(&mut outcomes, lane_items, lane_outcomes);
+    TxnEffect { outcomes }
+}
+
+/// Merge per-lane outcomes into `outcomes` slots (the body of
+/// [`assemble_effect`], reused for plan segments).
+pub fn fold_outcomes(
+    outcomes: &mut [ExecOutcome],
+    lane_items: &[Vec<LaneItem>],
+    lane_outcomes: &[Vec<ExecOutcome>],
+) {
     for (items, outs) in lane_items.iter().zip(lane_outcomes) {
         debug_assert_eq!(items.len(), outs.len());
         for (item, out) in items.iter().zip(outs) {
@@ -152,7 +269,36 @@ pub fn assemble_effect(
             }
         }
     }
-    TxnEffect { outcomes }
+}
+
+/// Placeholder outcomes for a batch, to be filled by
+/// [`fold_outcomes`]/program steps: scans start at `Scanned(0)` so lane
+/// partials can sum, everything else at `Done`.
+pub fn seed_outcomes(ops: &[Operation]) -> Vec<ExecOutcome> {
+    ops.iter()
+        .map(|op| match op {
+            Operation::Scan { .. } => ExecOutcome::Scanned(0),
+            _ => ExecOutcome::Done,
+        })
+        .collect()
+}
+
+/// Execute a cross-lane program step against lane stores in place:
+/// gather reads from the owning lanes, evaluate once, scatter the writes
+/// back. The home lane counts the program (and its abort); write
+/// application bumps no per-class stats, mirroring sequential execution.
+pub fn execute_program_sharded(
+    lanes: &mut [KvStore],
+    step: &ProgramStep,
+    fingerprint: bool,
+) -> ExecOutcome {
+    let n = lanes.len();
+    let (outcome, writes) = step.prog.eval_values(|k| lanes[lane_of(k, n)].get(k));
+    for (key, value) in writes {
+        lanes[lane_of(key, n)].apply_program_write(key, value, fingerprint);
+    }
+    lanes[step.home].note_program(outcome.is_aborted());
+    ExecOutcome::Txn(outcome)
 }
 
 /// Execute a batch across lane stores (in-place, single-threaded),
@@ -164,17 +310,27 @@ pub fn execute_batch_sharded(
     ops: &[Operation],
     fingerprint: bool,
 ) -> TxnEffect {
-    let items = partition_batch(ops, lanes.len());
-    let outcomes: Vec<Vec<ExecOutcome>> = items
-        .iter()
-        .zip(lanes.iter_mut())
-        .map(|(list, store)| {
-            list.iter()
-                .map(|it| store.execute_partial(&it.op, it.home, fingerprint))
-                .collect()
-        })
-        .collect();
-    assemble_effect(ops, &items, &outcomes)
+    let mut outcomes = seed_outcomes(ops);
+    for step in plan_batch(ops, lanes.len()) {
+        match step {
+            PlanStep::Items(items) => {
+                let outs: Vec<Vec<ExecOutcome>> = items
+                    .iter()
+                    .zip(lanes.iter_mut())
+                    .map(|(list, store)| {
+                        list.iter()
+                            .map(|it| store.execute_partial(&it.op, it.home, fingerprint))
+                            .collect()
+                    })
+                    .collect();
+                fold_outcomes(&mut outcomes, &items, &outs);
+            }
+            PlanStep::Program(step) => {
+                outcomes[step.op_index] = execute_program_sharded(lanes, &step, fingerprint);
+            }
+        }
+    }
+    TxnEffect { outcomes }
 }
 
 #[cfg(test)]
@@ -265,6 +421,62 @@ mod tests {
             assert_eq!(merged.stats(), whole.stats(), "lanes={lanes}");
             assert_eq!(merged.applied_txns(), whole.applied_txns());
         }
+    }
+
+    #[test]
+    fn cross_lane_programs_match_sequential() {
+        use crate::txn::TxnProgram;
+        // A batch mixing plain ops with single-lane and cross-lane
+        // programs, including a program that reads what an earlier
+        // program wrote on a different lane.
+        let ops = vec![
+            Operation::Write {
+                key: 1,
+                value: Value::from_u64(100),
+            },
+            Operation::Txn(TxnProgram::transfer(1, 2, 30)), // cross-lane at 2+
+            Operation::Read { key: 2 },
+            Operation::Txn(TxnProgram::transfer(2, 5, 25)),
+            Operation::Txn(TxnProgram::transfer(4, 4, 1_000_000)), // aborts
+            Operation::Rmw { key: 2, delta: 7 },
+        ];
+        let mut whole = KvStore::with_ycsb_records(16);
+        let expect = whole.execute_batch(&ops);
+        for lanes in [1usize, 2, 3, 4, 8] {
+            let mut parts = KvStore::with_ycsb_records(16).split_lanes(lanes);
+            let got = execute_batch_sharded(&mut parts, &ops, true);
+            assert_eq!(expect, got, "lanes={lanes}");
+            assert_eq!(
+                KvStore::combined_state_digest(&parts),
+                whole.state_digest(),
+                "lanes={lanes}"
+            );
+            let merged = KvStore::merge_lanes(parts);
+            assert_eq!(merged.stats(), whole.stats(), "lanes={lanes}");
+            assert_eq!(merged.applied_txns(), whole.applied_txns());
+        }
+    }
+
+    #[test]
+    fn plan_batch_degenerates_to_partition_for_plain_batches() {
+        let ops = vec![
+            Operation::Write {
+                key: 2,
+                value: Value::from_u64(9),
+            },
+            Operation::Scan { key: 0, count: 6 },
+            Operation::NoOp,
+        ];
+        let plan = plan_batch(&ops, 4);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0], PlanStep::Items(partition_batch(&ops, 4)));
+        // Single-lane programs stay ordinary items too.
+        let ops = vec![Operation::Txn(crate::txn::TxnProgram::transfer(0, 4, 1))];
+        let plan = plan_batch(&ops, 4);
+        assert_eq!(plan.len(), 1, "keys 0 and 4 share lane 0 at 4 lanes");
+        // ...but span lanes at 3 lanes, forcing a program step.
+        let plan = plan_batch(&ops, 3);
+        assert!(matches!(&plan[0], PlanStep::Program(p) if p.span == 0b011));
     }
 
     #[test]

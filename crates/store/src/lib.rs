@@ -17,7 +17,11 @@
 pub mod lanes;
 pub mod ops;
 pub mod table;
+pub mod txn;
 
-pub use lanes::{lane_mask, lane_of, partition_batch, LaneItem, MAX_LANES};
+pub use lanes::{
+    lane_mask, lane_of, partition_batch, plan_batch, LaneItem, PlanStep, ProgramStep, MAX_LANES,
+};
 pub use ops::{ExecOutcome, Operation, TxnEffect};
 pub use table::{KvStore, StoreStats, Value, STORE_SHARDS};
+pub use txn::{Cmp, TxnAbort, TxnInstr, TxnOutcome, TxnProgram};

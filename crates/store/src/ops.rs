@@ -44,6 +44,11 @@ pub enum Operation {
     /// The no-op transaction GeoBFT primaries propose when they have no
     /// client requests for a round (§2.5).
     NoOp,
+    /// Run a deterministic register-machine program atomically over its
+    /// static key footprint (see [`crate::txn`]). The program may abort
+    /// (e.g. an underflow on a SmallBank transfer); the batch still
+    /// commits and the abort is surfaced in [`ExecOutcome::Txn`].
+    Txn(crate::txn::TxnProgram),
 }
 
 pub use crate::table::Value;
@@ -59,6 +64,11 @@ pub enum ExecOutcome {
     Counter(u64),
     /// A scan touched this many existing records.
     Scanned(u32),
+    /// A transaction program ran to completion: committed with its return
+    /// value, or aborted leaving the store untouched. Either way the
+    /// operation (and its batch) *committed* — the outcome is replicated
+    /// state, provable to clients with `f + 1` matching replies.
+    Txn(crate::txn::TxnOutcome),
 }
 
 /// The effect of executing a whole transaction batch: one outcome per
@@ -72,6 +82,7 @@ pub struct TxnEffect {
 
 impl Operation {
     /// The record key this operation touches first (None for `NoOp`).
+    /// For a program it is the first key of the static footprint.
     pub fn primary_key(&self) -> Option<u64> {
         match self {
             Operation::Write { key, .. }
@@ -80,15 +91,20 @@ impl Operation {
             | Operation::Insert { key, .. }
             | Operation::Scan { key, .. } => Some(*key),
             Operation::NoOp => None,
+            Operation::Txn(prog) => prog.keys().first().copied(),
         }
     }
 
-    /// Whether the operation mutates the store.
+    /// Whether the operation mutates the store. Programs count as writes
+    /// whenever their static footprint contains a `Write` (a program
+    /// that aborts at runtime still *may* write, and lane routing must
+    /// plan for it).
     pub fn is_write(&self) -> bool {
-        matches!(
-            self,
-            Operation::Write { .. } | Operation::Rmw { .. } | Operation::Insert { .. }
-        )
+        match self {
+            Operation::Write { .. } | Operation::Rmw { .. } | Operation::Insert { .. } => true,
+            Operation::Txn(prog) => !prog.write_keys().is_empty(),
+            _ => false,
+        }
     }
 }
 

@@ -51,12 +51,22 @@ pub struct StoreStats {
     pub scans: u64,
     /// No-ops executed.
     pub noops: u64,
+    /// Transaction programs executed (committed or aborted).
+    pub programs: u64,
+    /// Transaction programs that aborted (subset of `programs`).
+    pub aborts: u64,
 }
 
 impl StoreStats {
-    /// Total operations executed.
+    /// Total operations executed (a program counts once, aborted or not).
     pub fn total(&self) -> u64 {
-        self.writes + self.reads + self.rmws + self.inserts + self.scans + self.noops
+        self.writes
+            + self.reads
+            + self.rmws
+            + self.inserts
+            + self.scans
+            + self.noops
+            + self.programs
     }
 
     /// Add another statistics block into this one (used when merging
@@ -68,6 +78,8 @@ impl StoreStats {
         self.inserts += other.inserts;
         self.scans += other.scans;
         self.noops += other.noops;
+        self.programs += other.programs;
+        self.aborts += other.aborts;
     }
 }
 
@@ -410,6 +422,27 @@ impl KvStore {
         Digest(h.finalize())
     }
 
+    /// Apply one staged program write (see [`crate::txn`]): a raw record
+    /// overwrite that bumps the key's version but no per-class stats —
+    /// exactly what sequential [`Operation::Txn`] execution does per
+    /// written key. Used by the lane executors to scatter a cross-lane
+    /// program's write set onto the owning lanes.
+    pub fn apply_program_write(&mut self, key: u64, value: Value, fingerprint: bool) {
+        self.insert_inner(key, value, fingerprint);
+    }
+
+    /// Count one executed program on this store (the program's *home*
+    /// lane), keeping merged lane statistics identical to sequential
+    /// execution: `applied_txns` and `stats.programs` bump once, plus
+    /// `stats.aborts` when the program aborted.
+    pub fn note_program(&mut self, aborted: bool) {
+        self.applied_txns += 1;
+        self.stats.programs += 1;
+        if aborted {
+            self.stats.aborts += 1;
+        }
+    }
+
     fn contains(&self, key: u64) -> bool {
         self.shards[shard_of(key)].records.contains_key(&key)
     }
@@ -465,6 +498,21 @@ impl KvStore {
                     self.stats.noops += 1;
                 }
                 ExecOutcome::Done
+            }
+            Operation::Txn(prog) => {
+                if count {
+                    self.stats.programs += 1;
+                }
+                let (outcome, writes) = prog.eval_values(|k| self.get(k));
+                // Aborted programs leave the store untouched; `writes` is
+                // empty for them by construction.
+                for (key, value) in writes {
+                    self.insert_inner(key, value, fingerprint);
+                }
+                if count && outcome.is_aborted() {
+                    self.stats.aborts += 1;
+                }
+                ExecOutcome::Txn(outcome)
             }
         }
     }

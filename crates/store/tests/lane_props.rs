@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 use rdb_store::lanes::execute_batch_sharded;
+use rdb_store::txn::TxnProgram;
 use rdb_store::{KvStore, Operation, Value};
 
 const RECORDS: u64 = 96;
@@ -28,6 +29,38 @@ fn arb_op() -> impl Strategy<Value = Operation> {
 
 fn arb_batches() -> impl Strategy<Value = Vec<Vec<Operation>>> {
     proptest::collection::vec(proptest::collection::vec(arb_op(), 0..12), 0..20)
+}
+
+/// An account pick heavily biased towards a tiny hot set, so programs in
+/// the same batch conflict on purpose (the chronically-underfunded hot
+/// accounts also make underflow aborts routine, exercising the
+/// abort-touches-nothing path under sharded execution).
+fn arb_account() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..4, // hot, conflicting, underfunded
+        0u64..4,
+        0u64..4,
+        0u64..RECORDS, // anywhere in the preload
+    ]
+}
+
+/// SmallBank-shaped transaction programs: transfers (plain and
+/// branch-guarded) between conflicting accounts, plus multi-key mints
+/// whose 4-key footprint straddles every lane at small lane counts.
+fn arb_program() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        (arb_account(), arb_account(), 1u64..200)
+            .prop_map(|(f, t, a)| Operation::Txn(TxnProgram::transfer(f, t, a))),
+        (arb_account(), arb_account(), 1u64..200)
+            .prop_map(|(f, t, a)| Operation::Txn(TxnProgram::transfer_checked(f, t, a))),
+        (1u64..RECORDS - 3, 1u64..16).prop_map(|(base, amt)| {
+            Operation::Txn(TxnProgram::mint(0, &[base, base + 1, base + 2], amt))
+        }),
+    ]
+}
+
+fn arb_program_batches() -> impl Strategy<Value = Vec<Vec<Operation>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_program(), 1..8), 1..12)
 }
 
 proptest! {
@@ -55,6 +88,40 @@ proptest! {
         prop_assert_eq!(merged.applied_txns(), seq.applied_txns());
         prop_assert_eq!(merged.len(), seq.len());
         prop_assert!(merged.verify_fingerprint());
+    }
+
+    /// Register-machine transaction programs are lane-invariant: for
+    /// random SmallBank-shaped batches full of hot-key conflicts, every
+    /// lane count in {1, 2, 4} produces byte-identical per-transaction
+    /// `TxnEffect`s (outcomes, aborts, write sets) and the same state
+    /// digest as sequential execution on one store.
+    #[test]
+    fn txn_programs_lane_invariant(batches in arb_program_batches()) {
+        let mut seq = KvStore::with_ycsb_records(RECORDS);
+        let mut effects = Vec::new();
+        for batch in &batches {
+            effects.push(seq.execute_batch(batch));
+        }
+
+        for lanes in [1usize, 2, 4] {
+            let mut parts = KvStore::with_ycsb_records(RECORDS).split_lanes(lanes);
+            for (i, batch) in batches.iter().enumerate() {
+                let got = execute_batch_sharded(&mut parts, batch, true);
+                prop_assert_eq!(
+                    &effects[i], &got,
+                    "txn effects diverged at batch {} (lanes={})", i, lanes
+                );
+            }
+            prop_assert_eq!(
+                KvStore::combined_state_digest(&parts),
+                seq.state_digest(),
+                "state digest diverged (lanes={})", lanes
+            );
+            let merged = KvStore::merge_lanes(parts);
+            prop_assert_eq!(merged.state_digest(), seq.state_digest());
+            prop_assert_eq!(merged.stats(), seq.stats());
+            prop_assert!(merged.verify_fingerprint());
+        }
     }
 
     /// The unfingerprinted fast path converges to the same digest once

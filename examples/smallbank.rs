@@ -1,0 +1,97 @@
+//! SmallBank over consensus: submit register-machine transfer programs
+//! through a live PBFT fabric and print each commit proof — including a
+//! transfer that *aborts on underflow* yet still commits, with the same
+//! `f + 1` attestation quorum as any successful transaction. Aborting is
+//! an execution outcome, not a consensus failure: the program occupies
+//! its slot in the total order, touches nothing, and every replica
+//! attests to exactly that.
+//!
+//! ```bash
+//! cargo run --release --example smallbank
+//! ```
+
+use rdb_common::ids::ClusterId;
+use rdb_consensus::config::ProtocolKind;
+use rdb_store::{ExecOutcome, Operation, TxnAbort, TxnOutcome, TxnProgram};
+use resilientdb::DeploymentBuilder;
+
+fn main() {
+    println!("SmallBank on PBFT, 1 cluster x 4 replicas\n");
+
+    // The preload seeds account k with balance k: account 7 holds 7
+    // units, account 400 holds 400. Global F = 1, so proofs carry at
+    // least 2 matching attestations.
+    let records = 500;
+    let quorum = 2;
+    let fabric = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(5)
+        .records(records)
+        .start();
+    let session = fabric.session(ClusterId(0));
+
+    // A funded transfer: account 400 can afford 50.
+    let proof = session
+        .submit_one(Operation::Txn(TxnProgram::transfer(400, 7, 50)))
+        .wait();
+    println!(
+        "transfer 400 -> 7   of  50: {:?}  (seq {}, block {}, {} attestations)",
+        proof.results.outcomes[0],
+        proof.seq,
+        proof.block_height,
+        proof.quorum_size()
+    );
+    assert!(matches!(
+        proof.results.outcomes[0],
+        ExecOutcome::Txn(TxnOutcome::Committed { .. })
+    ));
+    assert!(proof.quorum_size() >= quorum);
+
+    // An underfunded transfer: account 7 now holds 57 units and cannot
+    // cover 1000. The `Sub` instruction underflows, the program aborts —
+    // and the abort *commits*, with a full quorum proof. This is the
+    // end-to-end abort path: `TxnEffect` -> `ReplyData.results` ->
+    // `CommitProof.results`.
+    let proof = session
+        .submit_one(Operation::Txn(TxnProgram::transfer(7, 400, 1_000)))
+        .wait();
+    let outcome = &proof.results.outcomes[0];
+    println!(
+        "transfer   7 -> 400 of 1000: {:?}  (seq {}, block {}, {} attestations)",
+        outcome,
+        proof.seq,
+        proof.block_height,
+        proof.quorum_size()
+    );
+    let ExecOutcome::Txn(TxnOutcome::Aborted(TxnAbort::Underflow { pc })) = outcome else {
+        panic!("an underfunded transfer must abort on underflow");
+    };
+    println!("  -> aborted by the Sub instruction at pc {pc}: insufficient funds");
+    assert!(
+        proof.quorum_size() >= quorum,
+        "aborts carry the same f+1 proof as commits"
+    );
+
+    // The aborted transfer moved nothing: a third transfer re-reads the
+    // balance by spending exactly what account 7 still holds (7 + 50).
+    let proof = session
+        .submit_one(Operation::Txn(TxnProgram::transfer(7, 400, 57)))
+        .wait();
+    println!(
+        "transfer   7 -> 400 of  57: {:?}  (seq {}, block {})",
+        proof.results.outcomes[0], proof.seq, proof.block_height
+    );
+    assert!(
+        matches!(
+            proof.results.outcomes[0],
+            ExecOutcome::Txn(TxnOutcome::Committed { .. })
+        ),
+        "the aborted transfer must not have touched the balance"
+    );
+
+    let report = fabric.shutdown();
+    let common = report.audit_ledgers().expect("ledger audit");
+    println!(
+        "\nshutdown: {} batches committed, ledgers agree on {common} blocks",
+        report.completed_batches
+    );
+}

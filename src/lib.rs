@@ -9,6 +9,7 @@ pub use rdb_common as common;
 pub use rdb_consensus as consensus;
 pub use rdb_crypto as crypto;
 pub use rdb_ledger as ledger;
+pub use rdb_scenario as scenario;
 pub use rdb_simnet as simnet;
 pub use rdb_store as store;
 pub use rdb_workload as workload;

@@ -151,10 +151,11 @@ fn slow_checkpoint_stage_throttles_execution_and_bounds_stable_lag() {
     // Fault injection: every checkpoint snapshot is artificially slowed
     // inside the checkpoint thread. Because the checkpoint queue is
     // Block-policy (checkpoints are not retransmittable), the executor
-    // parks on the full queue instead of letting stable-state lag grow
+    // parks on the full queue instead of letting checkpoint lag grow
     // without bound: the wait must show up as `blocked_ns` on the
-    // checkpoint stage, and every replica's exec-to-stable lag must stay
-    // within the queue's capacity worth of checkpoint intervals.
+    // checkpoint stage, each replica's head must stay within the
+    // queue's capacity worth of intervals of its own checkpoint
+    // progress, and the certified watermark must track the quorum's.
     const K: u64 = 2;
     const CKPT_CAP: usize = 2;
     // Small work/exec queues keep the *shutdown drain* bounded too: when
@@ -191,25 +192,49 @@ fn slow_checkpoint_stage_throttles_execution_and_bounds_stable_lag() {
         report.stages.summary()
     );
 
-    // Bounded exec-to-stable lag. Steady state: the executor can run at
-    // most the queued snapshots (capacity), the one inside the slow
-    // thread, the one it is parked on, plus one interval in progress,
-    // past the last locally snapshotted height — and stability trails
-    // that by a vote round trip through the (equally throttled) peers,
-    // worth one more capacity. Shutdown adds the drained worker/executor
-    // backlogs (no votes arrive once the verifiers exit).
-    let bound = K * (2 * CKPT_CAP as u64 + 4) + ORDER_CAP + EXEC_CAP + K;
+    // The throttle itself is *local*: the Block-policy checkpoint queue
+    // bounds how far a replica's executor can run past the last snapshot
+    // its own checkpoint thread processed — at most the queued snapshots
+    // (CKPT_CAP intervals), the one the executor is parked pushing, the
+    // one inside the slow thread, and the interval in progress. That
+    // holds regardless of OS scheduling, so it is asserted per replica.
+    let local_bound = K * (CKPT_CAP as u64 + 3);
+    // *Stability* additionally needs a quorum (N - F = 3 of 4) of votes,
+    // so the certified watermark can only ever track the 2nd-slowest
+    // replica's snapshot progress (the quorum pivot). On a loaded host
+    // the scheduler can starve one replica hundreds of heights behind
+    // its peers; that spread is real but is not the throttle's to bound,
+    // so stability is measured against the pivot, not each replica's own
+    // head. Slack: a vote round trip plus one capacity of snapshots
+    // in flight at the pivot replica, plus the shutdown drain (the
+    // worker and executor drain their queues after the verifiers — and
+    // with them, inbound peer votes — are gone).
+    let pivot_bound = K * (2 * CKPT_CAP as u64 + 4) + ORDER_CAP + EXEC_CAP + K;
+    let mut processed: Vec<u64> = report
+        .checkpoints
+        .values()
+        .map(|c| c.processed_height)
+        .collect();
+    processed.sort_unstable();
+    let pivot = processed[1]; // 2nd-lowest: the quorum-achievable height
     for (rid, ckpt) in &report.checkpoints {
         assert!(
             ckpt.stable_height > 0,
             "replica {rid} never reached a stable checkpoint"
         );
         let head = report.ledgers[rid].head_height();
-        let lag = head - ckpt.stable_height.min(head);
+        let local_lag = head - ckpt.processed_height.min(head);
         assert!(
-            lag <= bound,
-            "replica {rid}: exec-to-stable lag {lag} exceeds bound {bound} \
-             (head {head}, stable {})",
+            local_lag <= local_bound,
+            "replica {rid}: head {head} ran {local_lag} past its own \
+             checkpoint stage at {} (bound {local_bound})",
+            ckpt.processed_height
+        );
+        let stable_lag = pivot.saturating_sub(ckpt.stable_height);
+        assert!(
+            stable_lag <= pivot_bound,
+            "replica {rid}: stable height {} trails the quorum pivot \
+             {pivot} by {stable_lag} (bound {pivot_bound})",
             ckpt.stable_height
         );
     }

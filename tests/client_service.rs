@@ -276,3 +276,51 @@ fn sessions_coexist_with_closed_loop_harness_load() {
         .audit_execution_stage()
         .expect("materialized tables match ledger heads");
 }
+
+/// Regression for the documented Zyzzyva session caveat: session tickets
+/// ride the speculative fast path only, which needs identical responses
+/// from *all* `n` replicas — under a single crashed replica a ticket can
+/// never resolve. The contract is that this surfaces deterministically:
+/// `wait_timeout` returns `None` (instead of hanging forever) while the
+/// ticket is merely pending (`aborted()` is `None`), and after shutdown
+/// the ticket is dead and says why (`aborted()` is `Some`).
+#[test]
+fn zyzzyva_session_under_replica_fault_times_out_deterministically() {
+    let fabric = DeploymentBuilder::new(ProtocolKind::Zyzzyva, 1, 4)
+        .batch_size(5)
+        .records(500)
+        .fast_timeouts()
+        .crash(rdb_common::ids::ReplicaId::new(0, 3), Duration::ZERO)
+        .start();
+    // Let the crash scheduler take the replica down before submitting, so
+    // the all-`n` speculative quorum is impossible from the start.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let session = fabric.session(ClusterId(0));
+    let ticket = session.submit_one(Operation::Write {
+        key: 3,
+        value: Value::from_u64(11),
+    });
+
+    // Deterministic miss, not a hang: the fast path cannot complete.
+    assert!(
+        ticket.wait_timeout(Duration::from_millis(800)).is_none(),
+        "ticket resolved through the speculative path with a replica down"
+    );
+    // A timed-out ticket is still *pending*, not dead: the fabric is up
+    // and a recovered replica could in principle still complete it.
+    assert!(ticket.aborted().is_none(), "pending ticket reported dead");
+    assert!(ticket.try_wait().is_none());
+
+    let report = fabric.shutdown();
+    // Shutdown with the ticket pending kills it, and `aborted` carries
+    // the reason — this is what lets poll loops terminate.
+    assert!(
+        ticket.aborted().is_some(),
+        "shutdown must abort pending tickets"
+    );
+    assert!(ticket.wait_timeout(Duration::from_millis(10)).is_none());
+    // The honest replicas still audit clean: the stalled session is a
+    // client-side liveness artifact, not a safety problem.
+    report.audit_ledgers().expect("ledgers consistent");
+}

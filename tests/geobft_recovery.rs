@@ -124,11 +124,11 @@ fn dropped_link_between_primaries_is_tolerated() {
     // covers f + 1 = 2 receivers, so the second receiver carries the
     // local phase (Proposition 2.5).
     let mut s = geo_scenario(2, 4);
-    s.faults = vec![FaultSpec::DropLink {
-        a: ReplicaId::new(0, 0),
-        b: ReplicaId::new(1, 0),
-        from_time: rdb_common::time::SimTime::ZERO,
-    }];
+    s.faults = vec![FaultSpec::drop_link(
+        ReplicaId::new(0, 0),
+        ReplicaId::new(1, 0),
+        rdb_common::time::SimTime::ZERO,
+    )];
     let (metrics, _) = s.run_full();
     assert!(metrics.completed_batches > 0);
 }

@@ -215,7 +215,10 @@ fn saturated_bounded_queues_commit_identical_ledgers() {
         // bounds bite (single queues fill) while the sum along any
         // replica-to-replica blocking cycle (work + output + inbox, both
         // directions ≈ 44) stays above it, so lossless Block can never
-        // wedge the deployment.
+        // wedge the deployment. The capacity argument covers *cross*-
+        // replica cycles only: the runtime delivers a replica's votes to
+        // itself inline on the worker (see `dispatch_replica_actions`),
+        // so no self-loop cycle through these queues exists.
         .input_queue(QueuePolicy::block(6))
         .order_queue(QueuePolicy::block(8))
         .exec_queue(QueuePolicy::block(2))
