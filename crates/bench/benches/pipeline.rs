@@ -460,6 +460,89 @@ fn bench_fabric_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serialization hot path (`pipeline-serialize`): encode a realistic
+/// message mix — batched PrePrepares, control messages, certificates,
+/// client replies — through the wire codec, comparing a fresh allocation
+/// per send against [`rdb_consensus::codec::WireCodec`]'s reused buffer
+/// (what every socket link holds). The Looking Glass study calls
+/// serialization on the hot path a place real BFT systems win or lose
+/// throughput; this pins the win of not allocating there.
+fn bench_serialize(c: &mut Criterion) {
+    use rdb_consensus::codec::{encode_frame_into, WireCodec};
+
+    let (_system, _crypto, certs) = cert_workload(64);
+    let me: NodeId = ReplicaId::new(0, 0).into();
+    let peer: NodeId = ReplicaId::new(0, 1).into();
+    let client = ClientId::new(0, 0);
+    let big_batch = |seq: u64| SignedBatch {
+        batch: ClientBatch {
+            client,
+            batch_seq: seq,
+            txns: (0..50)
+                .map(|i| Transaction {
+                    client,
+                    seq: seq * 50 + i,
+                    op: rdb_store::Operation::Write {
+                        key: i,
+                        value: rdb_store::Value::from_u64(i),
+                    },
+                })
+                .collect(),
+        },
+        pubkey: Default::default(),
+        sig: Default::default(),
+    };
+    // The mix a busy PBFT primary actually sends: one batched
+    // PrePrepare, the n² control fan-out, certificates, replies.
+    let mut mix: Vec<Message> = Vec::new();
+    for (i, (_, cert)) in certs.into_iter().enumerate() {
+        let batch = big_batch(i as u64);
+        mix.push(Message::PrePrepare {
+            scope: rdb_consensus::Scope::Global,
+            view: 0,
+            seq: i as u64,
+            digest: batch.digest(),
+            batch,
+        });
+        for _ in 0..3 {
+            mix.push(Message::Prepare {
+                scope: rdb_consensus::Scope::Global,
+                view: 0,
+                seq: i as u64,
+                digest: Default::default(),
+            });
+        }
+        mix.push(cert);
+    }
+
+    let mut g = c.benchmark_group("pipeline-serialize");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(mix.len() as u64));
+    g.bench_function("alloc-per-send", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for msg in &mix {
+                let mut out = Vec::new();
+                encode_frame_into(&mut out, me, peer, msg);
+                total += black_box(&out).len();
+            }
+            total
+        })
+    });
+    g.bench_function("reused-buffer", |b| {
+        let mut codec = WireCodec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for msg in &mix {
+                total += black_box(codec.encode_frame(me, peer, msg)).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_verify_fanout,
@@ -470,6 +553,7 @@ criterion_group!(
     bench_simnet_lanes,
     bench_fabric_lanes,
     bench_checkpoint,
-    bench_fabric_batch
+    bench_fabric_batch,
+    bench_serialize
 );
 criterion_main!(benches);

@@ -25,6 +25,7 @@ pub mod api;
 pub mod certificate;
 pub mod checkpoint;
 pub mod clients;
+pub mod codec;
 pub mod config;
 pub mod crypto_ctx;
 pub mod exec;

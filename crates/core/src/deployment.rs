@@ -1,11 +1,12 @@
 //! Full in-process deployments: build, run, measure, audit.
 
-use crate::metrics::{Metrics, StageSnapshot};
+use crate::metrics::{Metrics, NetSnapshot, StageSnapshot};
 use crate::node::ReplicaRuntime;
 use crate::pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 use crate::queue::{QueuePolicy, StageQueues};
 use crate::service::Fabric;
-use crate::transport::{DelayFn, InProcTransport};
+use crate::socket::{SocketKind, SocketTransport};
+use crate::transport::{DelayFn, InProcTransport, Transport};
 use rdb_common::config::SystemConfig;
 use rdb_common::ids::{NodeId, ReplicaId};
 use rdb_common::time::SimDuration;
@@ -20,9 +21,30 @@ use rdb_workload::ycsb::YcsbConfig;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+/// Which transport carries the deployment's messages.
+///
+/// `InProcess` (the default) moves [`crate::transport::Envelope`]s over
+/// crossbeam channels — zero serialization, and what every figure
+/// reproduction uses, so repro output stays byte-identical. The socket
+/// modes serialize every message through
+/// [`rdb_consensus::codec::WireCodec`] and carry it over real loopback
+/// connections (see `crate::socket`): same protocols, same ledgers, real
+/// bytes on a real wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// In-process channel mesh (default; supports injected link delays).
+    #[default]
+    InProcess,
+    /// TCP over 127.0.0.1.
+    Tcp,
+    /// Unix-domain sockets (unix only).
+    Uds,
+}
+
 /// Builder for an in-process ResilientDB deployment.
 pub struct DeploymentBuilder {
     kind: ProtocolKind,
+    transport_mode: TransportMode,
     z: usize,
     n: usize,
     batch_size: usize,
@@ -53,6 +75,7 @@ impl DeploymentBuilder {
     pub fn new(kind: ProtocolKind, z: usize, n: usize) -> DeploymentBuilder {
         DeploymentBuilder {
             kind,
+            transport_mode: TransportMode::InProcess,
             z,
             n,
             batch_size: 10,
@@ -202,8 +225,19 @@ impl DeploymentBuilder {
     }
 
     /// Inject per-link one-way delays (e.g. Table 1 emulation).
+    /// In-process transport only — combining this with a socket
+    /// [`TransportMode`] panics at [`DeploymentBuilder::start`].
     pub fn delay(mut self, f: DelayFn) -> Self {
         self.delay = Some(f);
+        self
+    }
+
+    /// Select the transport ([`TransportMode::InProcess`] by default).
+    /// Socket modes carry every message as length-prefixed frames over
+    /// real loopback connections; the workload, protocols and committed
+    /// ledgers are unchanged (see `tests/pipeline_equivalence.rs`).
+    pub fn transport_mode(mut self, mode: TransportMode) -> Self {
+        self.transport_mode = mode;
         self
     }
 
@@ -292,7 +326,25 @@ impl DeploymentBuilder {
         };
 
         let metrics = Metrics::new();
-        let transport = InProcTransport::with_metrics(self.delay.clone(), Some(metrics.clone()));
+        let transport = match self.transport_mode {
+            TransportMode::InProcess => Transport::InProc(InProcTransport::with_metrics(
+                self.delay.clone(),
+                Some(metrics.clone()),
+            )),
+            mode => {
+                assert!(
+                    self.delay.is_none(),
+                    "injected link delays require TransportMode::InProcess — \
+                     socket links have real (loopback) latency instead"
+                );
+                let kind = match mode {
+                    TransportMode::Tcp => SocketKind::Tcp,
+                    TransportMode::Uds => SocketKind::Uds,
+                    TransportMode::InProcess => unreachable!(),
+                };
+                Transport::Socket(SocketTransport::new(kind, Some(metrics.clone())))
+            }
+        };
         let ks = KeyStore::new(self.seed);
 
         // Build every replica's state (keys, preloaded stores, protocol)
@@ -438,6 +490,9 @@ pub struct DeploymentReport {
     /// stable height, certified checkpoint history and, when retained,
     /// the recovery snapshot.
     pub checkpoints: HashMap<ReplicaId, CheckpointReport>,
+    /// Per-link wire counters (bytes/frames in and out, reconnects).
+    /// Empty for [`TransportMode::InProcess`], which moves no bytes.
+    pub net: NetSnapshot,
     /// Replicas crashed during the run.
     pub crashed: Vec<ReplicaId>,
 }

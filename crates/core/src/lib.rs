@@ -102,12 +102,14 @@ pub mod node;
 pub mod pipeline;
 pub mod queue;
 pub mod service;
+pub mod socket;
 pub mod transport;
 
-pub use deployment::{DeploymentBuilder, DeploymentReport};
-pub use metrics::{LaneRow, Metrics, StageRow, StageSnapshot};
+pub use deployment::{DeploymentBuilder, DeploymentReport, TransportMode};
+pub use metrics::{LaneRow, LinkRow, Metrics, NetSnapshot, StageRow, StageSnapshot};
 pub use node::{ClientRuntime, ReplicaRuntime, ReplicaStopReport};
 pub use pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 pub use queue::{Overload, QueuePolicy, StageQueues};
 pub use service::{ClientSession, CommitProof, Fabric, Ticket};
-pub use transport::{Envelope, InProcTransport, TransportHandle, TransportSender};
+pub use socket::{SocketKind, SocketTransport, WireAddr};
+pub use transport::{Envelope, InProcTransport, Transport, TransportHandle, TransportSender};

@@ -16,7 +16,9 @@
 //! as `enqueued`, so `queue_depth` stays the live backlog.
 
 use parking_lot::Mutex;
+use rdb_common::ids::NodeId;
 use rdb_consensus::stage::Stage;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -65,6 +67,17 @@ impl Default for LaneTable {
     }
 }
 
+/// Wire-level counters of one directed `from -> to` link (socket
+/// transport only; the in-process transport moves no bytes).
+#[derive(Default)]
+struct NetCell {
+    bytes_out: u64,
+    frames_out: u64,
+    bytes_in: u64,
+    frames_in: u64,
+    reconnects: u64,
+}
+
 #[derive(Default)]
 struct Inner {
     completed_batches: AtomicU64,
@@ -75,6 +88,7 @@ struct Inner {
     stages: StageTable,
     lanes: LaneTable,
     exec_lanes: AtomicU64,
+    net: Mutex<BTreeMap<(NodeId, NodeId), NetCell>>,
 }
 
 impl Inner {
@@ -218,6 +232,56 @@ impl Metrics {
                 .stall_ns
                 .fetch_add(ns, Ordering::Relaxed);
             m &= m - 1;
+        }
+    }
+
+    // --------------------------------------------------- wire links --
+
+    /// A frame of `bytes` left on the `from -> to` socket link.
+    pub fn net_sent(&self, from: NodeId, to: NodeId, bytes: u64) {
+        let mut net = self.inner.net.lock();
+        let cell = net.entry((from, to)).or_default();
+        cell.bytes_out += bytes;
+        cell.frames_out += 1;
+    }
+
+    /// A frame of `bytes` arrived on the `from -> to` socket link.
+    pub fn net_received(&self, from: NodeId, to: NodeId, bytes: u64) {
+        let mut net = self.inner.net.lock();
+        let cell = net.entry((from, to)).or_default();
+        cell.bytes_in += bytes;
+        cell.frames_in += 1;
+    }
+
+    /// The `from -> to` link re-established its connection after a drop.
+    pub fn net_reconnect(&self, from: NodeId, to: NodeId) {
+        self.inner
+            .net
+            .lock()
+            .entry((from, to))
+            .or_default()
+            .reconnects += 1;
+    }
+
+    /// Point-in-time copy of every link's wire counters, in `(from, to)`
+    /// order (empty for in-process deployments).
+    pub fn net_snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            links: self
+                .inner
+                .net
+                .lock()
+                .iter()
+                .map(|(&(from, to), cell)| LinkRow {
+                    from,
+                    to,
+                    bytes_out: cell.bytes_out,
+                    frames_out: cell.frames_out,
+                    bytes_in: cell.bytes_in,
+                    frames_in: cell.frames_in,
+                    reconnects: cell.reconnects,
+                })
+                .collect(),
         }
     }
 
@@ -374,6 +438,69 @@ impl StageSnapshot {
     }
 }
 
+/// Point-in-time copy of every socket link's wire counters. Empty for
+/// in-process deployments, which move envelopes over channels, not bytes.
+#[derive(Debug, Clone, Default)]
+pub struct NetSnapshot {
+    /// One row per directed link that carried (or attempted) traffic,
+    /// sorted by `(from, to)`.
+    pub links: Vec<LinkRow>,
+}
+
+impl NetSnapshot {
+    /// Total bytes written across all links.
+    pub fn total_bytes_out(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes_out).sum()
+    }
+
+    /// Total frames written across all links.
+    pub fn total_frames_out(&self) -> u64 {
+        self.links.iter().map(|l| l.frames_out).sum()
+    }
+
+    /// Total reconnects across all links.
+    pub fn total_reconnects(&self) -> u64 {
+        self.links.iter().map(|l| l.reconnects).sum()
+    }
+
+    /// One-line summary (`links=N out=B/F in=B/F reconnects=R`).
+    pub fn summary(&self) -> String {
+        let (mut bi, mut fi) = (0u64, 0u64);
+        for l in &self.links {
+            bi += l.bytes_in;
+            fi += l.frames_in;
+        }
+        format!(
+            "links={} out={}B/{}f in={}B/{}f reconnects={}",
+            self.links.len(),
+            self.total_bytes_out(),
+            self.total_frames_out(),
+            bi,
+            fi,
+            self.total_reconnects()
+        )
+    }
+}
+
+/// Wire counters of one directed `from -> to` socket link.
+#[derive(Debug, Clone)]
+pub struct LinkRow {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Bytes written by the sender (frame bytes, including headers).
+    pub bytes_out: u64,
+    /// Frames written by the sender.
+    pub frames_out: u64,
+    /// Bytes decoded by the receiver.
+    pub bytes_in: u64,
+    /// Frames decoded by the receiver.
+    pub frames_in: u64,
+    /// Times the sender re-established the connection after a drop.
+    pub reconnects: u64,
+}
+
 /// Counters of one stage.
 #[derive(Debug, Clone)]
 pub struct StageRow {
@@ -507,6 +634,36 @@ mod tests {
         // Stages that never overloaded report zero.
         assert_eq!(snap.row(Stage::Order).shed, 0);
         assert_eq!(snap.row(Stage::Order).blocked, Duration::ZERO);
+    }
+
+    #[test]
+    fn net_counters_aggregate_per_link() {
+        use rdb_common::ids::ReplicaId;
+        let m = Metrics::new();
+        let a: NodeId = ReplicaId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(0, 1).into();
+        assert!(m.net_snapshot().links.is_empty());
+        m.net_sent(a, b, 100);
+        m.net_sent(a, b, 50);
+        m.net_received(a, b, 100);
+        m.net_reconnect(a, b);
+        m.net_sent(b, a, 10);
+        let snap = m.net_snapshot();
+        assert_eq!(snap.links.len(), 2);
+        let ab = snap
+            .links
+            .iter()
+            .find(|l| l.from == a && l.to == b)
+            .unwrap();
+        assert_eq!(ab.bytes_out, 150);
+        assert_eq!(ab.frames_out, 2);
+        assert_eq!(ab.bytes_in, 100);
+        assert_eq!(ab.frames_in, 1);
+        assert_eq!(ab.reconnects, 1);
+        assert_eq!(snap.total_bytes_out(), 160);
+        assert_eq!(snap.total_frames_out(), 3);
+        assert_eq!(snap.total_reconnects(), 1);
+        assert!(snap.summary().contains("links=2"));
     }
 
     #[test]

@@ -46,7 +46,7 @@
 use crate::metrics::Metrics;
 use crate::node::{ClientRuntime, ReplicaRuntime};
 use crate::pipeline::PipelineConfig;
-use crate::transport::{Envelope, InProcTransport, TransportSender};
+use crate::transport::{Envelope, Transport, TransportSender};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use parking_lot::{Condvar, Mutex};
 use rdb_common::config::SystemConfig;
@@ -537,7 +537,7 @@ pub struct Fabric {
     pub(crate) check_sigs: bool,
     pub(crate) pipeline: PipelineConfig,
     pub(crate) metrics: Metrics,
-    pub(crate) transport: InProcTransport,
+    pub(crate) transport: Transport,
     pub(crate) keystore: KeyStore,
     pub(crate) epoch: Instant,
     pub(crate) replicas: Vec<ReplicaRuntime>,
@@ -738,6 +738,7 @@ impl Fabric {
             messages_sent: metrics.messages_sent(),
             avg_latency: metrics.avg_latency(),
             p99_latency: metrics.latency_percentile(0.99),
+            net: metrics.net_snapshot(),
             ledgers,
             exec_state_digests,
             checkpoints,

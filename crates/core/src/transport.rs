@@ -101,16 +101,93 @@ impl Partition {
     }
 }
 
+/// Scheduled partitions plus the lock-free fast path. Shared by both
+/// the in-process and the socket transport (both drop at send time).
+///
+/// `active` short-circuits the per-send check so the common (no faults)
+/// path never takes the lock — and, since expired windows are pruned
+/// inside [`PartitionSet::is_cut`] and the flag is cleared when the
+/// list empties, a *healed* deployment returns to that lock-free path
+/// instead of scanning a stale partition list forever.
+///
+/// Memory ordering: the store in [`PartitionSet::add`] is `Release` and
+/// the load in [`PartitionSet::is_cut`] is `Acquire`, pairing them. The
+/// partition-vec mutex already makes the race benign for cut *contents*
+/// — any sender that decides to scan acquires the lock and sees a fully
+/// written `Partition` — but the mutex cannot help a sender that never
+/// reaches it: with a `Relaxed` load, a sender could observe
+/// `active == false` arbitrarily long after `add` returned and skip a
+/// window that has already started. Acquire/Release bounds that
+/// visibility gap to the synchronization the caller already performs
+/// after scheduling the partition (in practice: the builder schedules
+/// partitions before spawning replica threads, and thread spawn is a
+/// release edge).
+pub(crate) struct PartitionSet {
+    partitions: Mutex<Vec<Partition>>,
+    active: AtomicBool,
+}
+
+impl PartitionSet {
+    pub(crate) fn new() -> PartitionSet {
+        PartitionSet {
+            partitions: Mutex::new(Vec::new()),
+            active: AtomicBool::new(false),
+        }
+    }
+
+    /// Schedule a bidirectional cut between `side_a` and `side_b` over
+    /// `[from, until)` (both relative to now).
+    pub(crate) fn add(
+        &self,
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        from: Duration,
+        until: Duration,
+    ) {
+        let now = Instant::now();
+        self.partitions.lock().push(Partition {
+            side_a,
+            side_b,
+            from: now + from,
+            until: now + until,
+        });
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// True when a currently-active partition cuts the `from -> to`
+    /// link. Prunes windows whose `until` has passed; once the last one
+    /// heals, the flag clears and subsequent sends take the lock-free
+    /// fast path again.
+    pub(crate) fn is_cut(&self, from: NodeId, to: NodeId) -> bool {
+        if !self.active.load(Ordering::Acquire) {
+            return false;
+        }
+        let now = Instant::now();
+        let mut partitions = self.partitions.lock();
+        partitions.retain(|p| now < p.until);
+        if partitions.is_empty() {
+            self.active.store(false, Ordering::Release);
+            return false;
+        }
+        partitions.iter().any(|p| p.cuts(now, from, to))
+    }
+
+    /// Test probe: whether the next `is_cut` would short-circuit
+    /// without touching the partition mutex.
+    #[cfg(test)]
+    pub(crate) fn fast_path_is_lock_free(&self) -> bool {
+        !self.active.load(Ordering::Acquire)
+    }
+}
+
 struct Shared {
     inboxes: Mutex<HashMap<NodeId, InboxEntry>>,
     delay: Option<DelayFn>,
     wheel: Mutex<BinaryHeap<Reverse<DelayedEntry>>>,
     wheel_cv: Condvar,
-    /// Scheduled network partitions. `partitioned` short-circuits the
-    /// per-send check so the common (no faults) path never takes the
-    /// lock.
-    partitions: Mutex<Vec<Partition>>,
-    partitioned: AtomicBool,
+    /// Scheduled network partitions (see [`PartitionSet`] for the
+    /// fast-path flag and pruning semantics).
+    partitions: PartitionSet,
     running: AtomicBool,
     seq: std::sync::atomic::AtomicU64,
     /// When attached, replica-bound deliveries count as input-stage
@@ -132,7 +209,95 @@ pub struct TransportHandle {
     pub node: NodeId,
     /// Incoming envelopes.
     pub inbox: Receiver<Envelope>,
-    transport: InProcTransport,
+    transport: Transport,
+}
+
+/// Either transport behind one dispatching surface, so the replica and
+/// client runtimes are transport-agnostic: [`TransportHandle`] /
+/// [`TransportSender`] wrap this enum and every call site stays the
+/// same whether messages travel over crossbeam channels or sockets.
+///
+/// In-process is the default everywhere — it keeps the repro figures
+/// byte-identical and supports delay emulation and partitions. The
+/// socket transport exists to span OS processes with real framing; see
+/// `crate::socket` and the "Wire transport" chapter of
+/// `docs/ARCHITECTURE.md` for the decision table.
+#[derive(Clone)]
+pub enum Transport {
+    /// Channel mesh within one process.
+    InProc(InProcTransport),
+    /// TCP or Unix-domain sockets with length-prefixed frames.
+    Socket(crate::socket::SocketTransport),
+}
+
+impl Transport {
+    /// Register a node with an unbounded inbox (clients, tests).
+    pub fn register(&self, node: NodeId) -> TransportHandle {
+        match self {
+            Transport::InProc(t) => t.register(node),
+            Transport::Socket(t) => t.register(node),
+        }
+    }
+
+    /// Register a node whose inbox is the bounded input-stage queue of
+    /// its pipeline (see [`InProcTransport::register_bounded`]).
+    pub fn register_bounded(&self, node: NodeId, policy: QueuePolicy) -> TransportHandle {
+        match self {
+            Transport::InProc(t) => t.register_bounded(node, policy),
+            Transport::Socket(t) => t.register_bounded(node, policy),
+        }
+    }
+
+    /// Schedule a bidirectional partition (see
+    /// [`InProcTransport::partition`]). Supported on both transports:
+    /// the socket transport drops at send time exactly like the
+    /// in-process one (the cut models a WAN failure, not a closed
+    /// socket).
+    pub fn partition(
+        &self,
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        from: Duration,
+        until: Duration,
+    ) {
+        match self {
+            Transport::InProc(t) => t.partition(side_a, side_b, from, until),
+            Transport::Socket(t) => t.partition(side_a, side_b, from, until),
+        }
+    }
+
+    /// Send an envelope.
+    pub fn send(&self, env: Envelope) {
+        match self {
+            Transport::InProc(t) => t.send(env),
+            Transport::Socket(t) => t.send(env),
+        }
+    }
+
+    /// Non-blocking send; `false` hands a non-droppable message back to
+    /// the caller to hold and retry (see [`InProcTransport::try_send`]).
+    pub fn try_send(&self, env: Envelope) -> bool {
+        match self {
+            Transport::InProc(t) => t.try_send(env),
+            Transport::Socket(t) => t.try_send(env),
+        }
+    }
+
+    /// Remove a node (crash tests).
+    pub fn disconnect(&self, node: NodeId) {
+        match self {
+            Transport::InProc(t) => t.disconnect(node),
+            Transport::Socket(t) => t.disconnect(node),
+        }
+    }
+
+    /// Stop background threads (the delay pump / socket readers).
+    pub fn shutdown(&self) {
+        match self {
+            Transport::InProc(t) => t.shutdown(),
+            Transport::Socket(t) => t.shutdown(),
+        }
+    }
 }
 
 impl InProcTransport {
@@ -155,8 +320,7 @@ impl InProcTransport {
                 delay,
                 wheel: Mutex::new(BinaryHeap::new()),
                 wheel_cv: Condvar::new(),
-                partitions: Mutex::new(Vec::new()),
-                partitioned: AtomicBool::new(false),
+                partitions: PartitionSet::new(),
                 running: AtomicBool::new(true),
                 seq: std::sync::atomic::AtomicU64::new(0),
                 metrics: metrics.unwrap_or_default(),
@@ -178,7 +342,7 @@ impl InProcTransport {
         TransportHandle {
             node,
             inbox: rx,
-            transport: self.clone(),
+            transport: Transport::InProc(self.clone()),
         }
     }
 
@@ -199,7 +363,7 @@ impl InProcTransport {
         TransportHandle {
             node,
             inbox: rx,
-            transport: self.clone(),
+            transport: Transport::InProc(self.clone()),
         }
     }
 
@@ -216,27 +380,12 @@ impl InProcTransport {
         from: Duration,
         until: Duration,
     ) {
-        let now = Instant::now();
-        self.shared.partitions.lock().push(Partition {
-            side_a,
-            side_b,
-            from: now + from,
-            until: now + until,
-        });
-        self.shared.partitioned.store(true, Ordering::SeqCst);
+        self.shared.partitions.add(side_a, side_b, from, until);
     }
 
     /// True when a currently-active partition cuts the `from -> to` link.
     fn is_cut(&self, from: NodeId, to: NodeId) -> bool {
-        if !self.shared.partitioned.load(Ordering::Relaxed) {
-            return false;
-        }
-        let now = Instant::now();
-        self.shared
-            .partitions
-            .lock()
-            .iter()
-            .any(|p| p.cuts(now, from, to))
+        self.shared.partitions.is_cut(from, to)
     }
 
     /// Send an envelope (applying the delay policy).
@@ -463,6 +612,20 @@ impl InProcTransport {
 }
 
 impl TransportHandle {
+    /// Assemble a handle (used by the socket transport, whose inbox
+    /// channels live in `crate::socket`).
+    pub(crate) fn from_parts(
+        node: NodeId,
+        inbox: Receiver<Envelope>,
+        transport: Transport,
+    ) -> TransportHandle {
+        TransportHandle {
+            node,
+            inbox,
+            transport,
+        }
+    }
+
     /// Send a message from this node.
     pub fn send(&self, to: NodeId, msg: Message) {
         self.transport.send(Envelope {
@@ -499,7 +662,7 @@ impl TransportHandle {
 #[derive(Clone)]
 pub struct TransportSender {
     node: NodeId,
-    transport: InProcTransport,
+    transport: Transport,
 }
 
 impl TransportSender {
@@ -664,6 +827,51 @@ mod tests {
         std::thread::sleep(Duration::from_millis(120));
         ha.send(b, Message::Noop);
         assert!(hb.inbox.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn healed_partition_restores_the_lock_free_send_path() {
+        // Regression: expired partitions used to linger in the list and
+        // the `active` flag was never cleared, so every send after a
+        // heal still took the partition mutex and scanned stale
+        // windows.
+        let t = InProcTransport::new(None);
+        let a: NodeId = ReplicaId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(0, 1).into();
+        let ha = t.register(a);
+        let hb = t.register(b);
+        assert!(t.shared.partitions.fast_path_is_lock_free());
+        t.partition(vec![a], vec![b], Duration::ZERO, Duration::from_millis(40));
+        ha.send(b, Message::Noop);
+        assert!(hb.inbox.recv_timeout(Duration::from_millis(30)).is_err());
+        assert!(
+            !t.shared.partitions.fast_path_is_lock_free(),
+            "flag must be set while the cut is scheduled"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        // The first send after the heal prunes the expired window...
+        ha.send(b, Message::Noop);
+        assert!(hb.inbox.recv_timeout(Duration::from_secs(1)).is_ok());
+        // ...and every later send short-circuits without the lock.
+        assert!(
+            t.shared.partitions.fast_path_is_lock_free(),
+            "post-heal sends must be lock-free again"
+        );
+    }
+
+    #[test]
+    fn overlapping_partitions_prune_independently() {
+        let set = PartitionSet::new();
+        let a: NodeId = ReplicaId::new(0, 0).into();
+        let b: NodeId = ReplicaId::new(0, 1).into();
+        set.add(vec![a], vec![b], Duration::ZERO, Duration::from_millis(30));
+        set.add(vec![a], vec![b], Duration::ZERO, Duration::from_millis(300));
+        assert!(set.is_cut(a, b));
+        std::thread::sleep(Duration::from_millis(50));
+        // The short window expired but the long one still cuts: the
+        // flag must survive the partial prune.
+        assert!(set.is_cut(a, b));
+        assert!(!set.fast_path_is_lock_free());
     }
 
     #[test]
