@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the durable storage engine against the in-memory
+//! baseline: the YCSB-shaped write path the executor drives (8-byte
+//! big-endian keys, 32-byte table images), and the WAL batch-size sweep —
+//! how much of the per-record framing and checksum cost one decision's
+//! batch amortizes. fsync stays off, as in CI: the sweep measures the
+//! engine, not the disk cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdb_storage::{Keyspace, LogBackend, LogConfig, MemoryBackend, StorageBackend, WriteBatch};
+use std::path::PathBuf;
+
+/// Keys cycle over a bounded YCSB-sized working set.
+const RECORDS: u64 = 100_000;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rdb-bench-store-backend-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+/// One executor-shaped batch: `n` table puts starting at key `start`.
+fn table_batch(start: u64, n: usize) -> WriteBatch {
+    let mut b = WriteBatch::new();
+    for i in 0..n as u64 {
+        let key = (start + i) % RECORDS;
+        b.put(
+            Keyspace::Table,
+            key.to_be_bytes().to_vec(),
+            [0u8; 32].to_vec(),
+        );
+    }
+    b
+}
+
+/// Memory vs durable on the same write stream: what WAL framing,
+/// checksumming and memtable upkeep cost per applied record.
+fn bench_backend_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store-backend");
+    const PER: usize = 64;
+    g.throughput(Throughput::Elements(PER as u64));
+
+    let mut mem = MemoryBackend::new();
+    let mut i = 0u64;
+    g.bench_function("write/memory", |b| {
+        b.iter(|| {
+            i += PER as u64;
+            mem.apply(table_batch(i, PER)).expect("apply")
+        })
+    });
+
+    let dir = scratch("write-path");
+    let mut log = LogBackend::open(
+        &dir,
+        LogConfig {
+            fsync: false,
+            ..LogConfig::default()
+        },
+    )
+    .expect("open durable engine");
+    let mut j = 0u64;
+    g.bench_function("write/durable", |b| {
+        b.iter(|| {
+            j += PER as u64;
+            log.apply(table_batch(j, PER)).expect("apply")
+        })
+    });
+    g.finish();
+    drop(log);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The WAL batch-size sweep: one record frames one batch, so larger
+/// batches amortize the 12-byte framing + SHA-256 checksum. Throughput
+/// is per put, making the curves directly comparable.
+fn bench_wal_batch_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store-backend/wal-batch");
+    for per in [1usize, 8, 64, 256] {
+        let dir = scratch(&format!("wal-sweep-{per}"));
+        let mut log = LogBackend::open(
+            &dir,
+            LogConfig {
+                fsync: false,
+                ..LogConfig::default()
+            },
+        )
+        .expect("open durable engine");
+        let mut i = 0u64;
+        g.throughput(Throughput::Elements(per as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(per), &per, |b, &per| {
+            b.iter(|| {
+                i += per as u64;
+                log.apply(table_batch(i, per)).expect("apply")
+            })
+        });
+        drop(log);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backend_write_path,
+    bench_wal_batch_size_sweep
+);
+criterion_main!(benches);

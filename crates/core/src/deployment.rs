@@ -1,11 +1,12 @@
 //! Full in-process deployments: build, run, measure, audit.
 
-use crate::metrics::{Metrics, NetSnapshot, StageSnapshot};
+use crate::metrics::{Metrics, NetSnapshot, StageSnapshot, StorageSnapshot};
 use crate::node::ReplicaRuntime;
 use crate::pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 use crate::queue::{QueuePolicy, StageQueues};
 use crate::service::Fabric;
 use crate::socket::{SocketKind, SocketTransport};
+use crate::storage::{self, Manifest, SharedBackend, StorageMode};
 use crate::transport::{DelayFn, InProcTransport, Transport};
 use rdb_common::config::SystemConfig;
 use rdb_common::ids::{NodeId, ReplicaId};
@@ -68,6 +69,7 @@ pub struct DeploymentBuilder {
     checkpoint_queue: Option<QueuePolicy>,
     output_queue: Option<QueuePolicy>,
     checkpoint: CheckpointConfig,
+    storage: StorageMode,
 }
 
 impl DeploymentBuilder {
@@ -99,7 +101,25 @@ impl DeploymentBuilder {
             checkpoint_queue: None,
             output_queue: None,
             checkpoint: CheckpointConfig::default(),
+            storage: StorageMode::Memory,
         }
+    }
+
+    /// Where replica state lives ([`StorageMode::Memory`] by default —
+    /// the pre-durability behavior, and what every figure reproduction
+    /// uses). [`StorageMode::Durable`] roots one log-structured engine
+    /// per replica under the given directory: the execution stage
+    /// WAL-logs every applied decision, the checkpoint stage persists
+    /// certified checkpoints, and a directory holding a previous run's
+    /// state is *recovered from* (table, ledger) instead of re-preloaded.
+    /// See [`crate::Fabric::restart_from`] for the full restart path.
+    ///
+    /// Durable mode requires the sequential executor —
+    /// [`DeploymentBuilder::start`] panics if combined with
+    /// [`DeploymentBuilder::exec_lanes`] `> 1`.
+    pub fn storage(mut self, mode: StorageMode) -> Self {
+        self.storage = mode;
+        self
     }
 
     /// Enable the checkpoint stage: certify the execution stage's table
@@ -347,13 +367,40 @@ impl DeploymentBuilder {
         };
         let ks = KeyStore::new(self.seed);
 
+        // Durable mode: assert the sequential-executor invariant and pin
+        // the deployment parameters to the data directory before any
+        // engine opens (a restart reads them back via the manifest).
+        let durable_root = match &self.storage {
+            StorageMode::Memory => None,
+            StorageMode::Durable(root) => Some(root.clone()),
+        };
+        if let Some(root) = &durable_root {
+            assert_eq!(
+                self.exec_lanes, 1,
+                "durable storage requires the sequential executor (exec_lanes == 1): \
+                 the execute thread is the WAL writer"
+            );
+            let manifest = Manifest {
+                kind: self.kind,
+                z: self.z,
+                n: self.n,
+                batch_size: self.batch_size,
+                records: self.records,
+                seed: self.seed,
+                check_sigs: self.check_sigs,
+                checkpoint_interval: self.checkpoint.interval,
+            };
+            storage::write_manifest_if_absent(root, &manifest)
+                .unwrap_or_else(|e| panic!("write manifest under {}: {e}", root.display()));
+        }
+
         // Build every replica's state (keys, preloaded stores, protocol)
         // before starting the clock: store preloading is setup, not run.
         let mut prepared = Vec::new();
+        let mut backends: Vec<(ReplicaId, SharedBackend)> = Vec::new();
         for rid in system.all_replicas().collect::<Vec<_>>() {
             let signer = ks.register(rid.into());
             let crypto = CryptoCtx::new(signer, ks.verifier(), self.check_sigs);
-            let store = KvStore::with_ycsb_records(self.records);
             // The verifier stage checks inbound signatures with the full
             // context; the worker's state machine runs pre-verified. The
             // execution stage gets its own identically-preloaded table.
@@ -361,7 +408,39 @@ impl DeploymentBuilder {
                 crypto: crypto.clone(),
                 system: system.clone(),
             };
-            let exec_store = KvStore::with_ycsb_records(self.records);
+            // Memory mode preloads two identical tables (protocol +
+            // execution). Durable mode opens the replica's engine first:
+            // an initialized directory recovers table and ledger from
+            // disk; a fresh one bulk-dumps the preload before serving.
+            let (store, exec_store, ledger, backend) = match &durable_root {
+                None => (
+                    KvStore::with_ycsb_records(self.records),
+                    KvStore::with_ycsb_records(self.records),
+                    Ledger::new(),
+                    None,
+                ),
+                Some(root) => {
+                    let dir = storage::replica_dir(root, rid);
+                    let mut engine =
+                        rdb_storage::LogBackend::open(&dir, rdb_storage::LogConfig::default())
+                            .unwrap_or_else(|e| {
+                                panic!("open durable engine {}: {e}", dir.display())
+                            });
+                    let (store, exec_store, ledger) = if storage::is_initialized(&engine) {
+                        let (recovered, ledger) = storage::recover_replica(&engine)
+                            .unwrap_or_else(|e| panic!("recover replica {rid}: {e}"));
+                        (recovered.clone(), recovered, ledger)
+                    } else {
+                        let preload = KvStore::with_ycsb_records(self.records);
+                        storage::init_replica(&mut engine, &preload)
+                            .unwrap_or_else(|e| panic!("initialize replica {rid}: {e}"));
+                        (preload.clone(), preload, Ledger::new())
+                    };
+                    let backend = std::sync::Arc::new(parking_lot::Mutex::new(engine));
+                    backends.push((rid, std::sync::Arc::clone(&backend)));
+                    (store, exec_store, ledger, Some(backend))
+                }
+            };
             let spec = self
                 .adversaries
                 .iter()
@@ -377,7 +456,7 @@ impl DeploymentBuilder {
             );
             // The replica's inbox is the bounded input-stage queue.
             let handle = transport.register_bounded(rid.into(), self.pipeline.queues.input);
-            prepared.push((protocol, handle, verify, exec_store));
+            prepared.push((protocol, handle, verify, exec_store, ledger, backend));
         }
 
         let epoch = Instant::now();
@@ -391,7 +470,7 @@ impl DeploymentBuilder {
             );
         }
         let mut replicas = Vec::new();
-        for (protocol, handle, verify, exec_store) in prepared {
+        for (protocol, handle, verify, exec_store, ledger, backend) in prepared {
             replicas.push(ReplicaRuntime::spawn(
                 protocol,
                 handle,
@@ -399,6 +478,8 @@ impl DeploymentBuilder {
                 epoch,
                 verify,
                 exec_store,
+                ledger,
+                backend,
                 self.pipeline,
             ));
         }
@@ -432,6 +513,7 @@ impl DeploymentBuilder {
             next_session: std::sync::atomic::AtomicU32::new(0),
             crash_threads,
             crashed: self.crash_after.iter().map(|(r, _)| *r).collect(),
+            backends,
         }
     }
 
@@ -493,6 +575,10 @@ pub struct DeploymentReport {
     /// Per-link wire counters (bytes/frames in and out, reconnects).
     /// Empty for [`TransportMode::InProcess`], which moves no bytes.
     pub net: NetSnapshot,
+    /// Durable-engine counters summed over all replicas (WAL records and
+    /// bytes, memtable flushes, run bytes, compactions). Zero engines in
+    /// the default [`StorageMode::Memory`].
+    pub storage: StorageSnapshot,
     /// Replicas crashed during the run.
     pub crashed: Vec<ReplicaId>,
 }
@@ -625,9 +711,9 @@ impl DeploymentReport {
         Ok(self.common_prefix_blocks())
     }
 
-    /// One-line summary.
+    /// One-line summary. Durable runs append the storage counters.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} z={} n={}: {:.0} txn/s, {} batches, avg latency {:?}, {} decisions, common prefix {} blocks",
             self.kind,
             self.system.z(),
@@ -637,7 +723,13 @@ impl DeploymentReport {
             self.avg_latency,
             self.decided,
             self.common_prefix_blocks(),
-        )
+        );
+        let storage = self.storage.summary();
+        if !storage.is_empty() {
+            line.push_str("; ");
+            line.push_str(&storage);
+        }
+        line
     }
 }
 

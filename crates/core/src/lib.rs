@@ -103,13 +103,17 @@ pub mod pipeline;
 pub mod queue;
 pub mod service;
 pub mod socket;
+pub mod storage;
 pub mod transport;
 
 pub use deployment::{DeploymentBuilder, DeploymentReport, TransportMode};
-pub use metrics::{LaneRow, LinkRow, Metrics, NetSnapshot, StageRow, StageSnapshot};
+pub use metrics::{
+    LaneRow, LinkRow, Metrics, NetSnapshot, StageRow, StageSnapshot, StorageSnapshot,
+};
 pub use node::{ClientRuntime, ReplicaRuntime, ReplicaStopReport};
 pub use pipeline::{CheckpointConfig, CheckpointReport, PipelineConfig, VerifyCtx};
 pub use queue::{Overload, QueuePolicy, StageQueues};
 pub use service::{ClientSession, CommitProof, Fabric, Ticket};
 pub use socket::{SocketKind, SocketTransport, WireAddr};
+pub use storage::{Manifest, SharedBackend, StorageMode};
 pub use transport::{Envelope, InProcTransport, Transport, TransportHandle, TransportSender};

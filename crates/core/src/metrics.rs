@@ -18,6 +18,7 @@
 use parking_lot::Mutex;
 use rdb_common::ids::NodeId;
 use rdb_consensus::stage::Stage;
+use rdb_storage::StorageStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,6 +79,13 @@ struct NetCell {
     reconnects: u64,
 }
 
+/// Accumulated durable-engine counters (empty for memory deployments).
+#[derive(Default)]
+struct StorageCell {
+    engines: u64,
+    stats: StorageStats,
+}
+
 #[derive(Default)]
 struct Inner {
     completed_batches: AtomicU64,
@@ -89,6 +97,7 @@ struct Inner {
     lanes: LaneTable,
     exec_lanes: AtomicU64,
     net: Mutex<BTreeMap<(NodeId, NodeId), NetCell>>,
+    storage: Mutex<StorageCell>,
 }
 
 impl Inner {
@@ -285,6 +294,26 @@ impl Metrics {
         }
     }
 
+    // ------------------------------------------------ durable storage --
+
+    /// Fold one durable engine's cumulative counters into the deployment
+    /// totals (called once per engine at fabric shutdown; memory
+    /// deployments never call it, so `storage_snapshot` stays empty).
+    pub fn storage_merge(&self, stats: &StorageStats) {
+        let mut cell = self.inner.storage.lock();
+        cell.engines += 1;
+        cell.stats.merge(stats);
+    }
+
+    /// Point-in-time copy of the accumulated durable-engine counters.
+    pub fn storage_snapshot(&self) -> StorageSnapshot {
+        let cell = self.inner.storage.lock();
+        StorageSnapshot {
+            engines: cell.engines,
+            stats: cell.stats,
+        }
+    }
+
     /// Items currently queued before `stage` (enqueued minus finished).
     pub fn queue_depth(&self, stage: Stage) -> u64 {
         let cell = self.inner.cell(stage);
@@ -435,6 +464,38 @@ impl StageSnapshot {
             })
             .collect::<Vec<_>>()
             .join(" | ")
+    }
+}
+
+/// Accumulated durable-storage activity across every engine a deployment
+/// ran (one engine per replica). `engines == 0` for memory deployments —
+/// the repro paths never pay for, or report, durability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageSnapshot {
+    /// Number of durable engines whose counters were folded in.
+    pub engines: u64,
+    /// Summed [`StorageStats`] over those engines: puts/deletes, WAL
+    /// records and bytes, flushes, run bytes, compactions, and the
+    /// recovery counters (keys recovered, torn WAL bytes truncated).
+    pub stats: StorageStats,
+}
+
+impl StorageSnapshot {
+    /// One-line summary (empty string for memory deployments).
+    pub fn summary(&self) -> String {
+        if self.engines == 0 {
+            return String::new();
+        }
+        format!(
+            "storage: {} engines, {} puts, {} wal records ({} B), {} flushes ({} B runs), {} compactions",
+            self.engines,
+            self.stats.puts,
+            self.stats.wal_records,
+            self.stats.wal_bytes,
+            self.stats.flushes,
+            self.stats.run_bytes,
+            self.stats.compactions,
+        )
     }
 }
 
@@ -664,6 +725,31 @@ mod tests {
         assert_eq!(snap.total_frames_out(), 3);
         assert_eq!(snap.total_reconnects(), 1);
         assert!(snap.summary().contains("links=2"));
+    }
+
+    #[test]
+    fn storage_counters_merge_per_engine() {
+        let m = Metrics::new();
+        assert_eq!(m.storage_snapshot().engines, 0);
+        assert!(m.storage_snapshot().summary().is_empty());
+        let a = StorageStats {
+            puts: 10,
+            wal_records: 2,
+            ..StorageStats::default()
+        };
+        let b = StorageStats {
+            puts: 5,
+            flushes: 1,
+            ..StorageStats::default()
+        };
+        m.storage_merge(&a);
+        m.storage_merge(&b);
+        let snap = m.storage_snapshot();
+        assert_eq!(snap.engines, 2);
+        assert_eq!(snap.stats.puts, 15);
+        assert_eq!(snap.stats.wal_records, 2);
+        assert_eq!(snap.stats.flushes, 1);
+        assert!(snap.summary().contains("2 engines"));
     }
 
     #[test]

@@ -192,6 +192,14 @@ impl ReplicaRuntime {
     /// checked every signature the worker would otherwise re-check.
     /// `exec_store` is the execution stage's state table (preloaded like
     /// the protocol's own store so state digests line up).
+    ///
+    /// `initial_ledger` is the chain the execution stage appends onto —
+    /// [`Ledger::new`] on a fresh boot, or a ledger recovered from durable
+    /// storage on restart. `backend` is the replica's durable engine
+    /// handle (`None` for memory deployments): the executor WAL-logs every
+    /// applied decision through it and the checkpoint stage persists
+    /// certified checkpoints and flushes.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         mut protocol: Box<dyn ReplicaProtocol>,
         handle: TransportHandle,
@@ -199,6 +207,8 @@ impl ReplicaRuntime {
         epoch: Instant,
         verify: VerifyCtx,
         exec_store: KvStore,
+        initial_ledger: Ledger,
+        backend: Option<crate::storage::SharedBackend>,
         pipeline: PipelineConfig,
     ) -> ReplicaRuntime {
         let node = handle.node;
@@ -222,7 +232,7 @@ impl ReplicaRuntime {
 
         // The ledger is shared between its writer (the execution stage
         // appends) and the checkpoint stage (compacts the stable prefix).
-        let ledger = Arc::new(Mutex::new(Ledger::new()));
+        let ledger = Arc::new(Mutex::new(initial_ledger));
 
         // Checkpoint stage: snapshot jobs + peer votes -> quorum
         // certification -> ledger compaction. Only spawned when enabled.
@@ -240,6 +250,7 @@ impl ReplicaRuntime {
                 ckpt_rx,
                 sender.clone(),
                 Arc::clone(&ledger),
+                backend.clone(),
                 metrics.clone(),
             );
             (Some(ckpt_tx), Some(handle))
@@ -272,6 +283,7 @@ impl ReplicaRuntime {
             queues.checkpoint,
             pipeline.exec_lanes,
             pipeline.reorder_window(),
+            backend,
             metrics.clone(),
         );
 

@@ -37,6 +37,7 @@
 
 use crate::metrics::Metrics;
 use crate::queue::{send_with_policy, QueuePolicy, SendOutcome, StageQueues};
+use crate::storage::{self, SharedBackend};
 use crate::transport::{Envelope, TransportSender};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -379,6 +380,7 @@ pub(crate) fn spawn_executor(
     queue: QueuePolicy,
     lanes: usize,
     reorder_window: usize,
+    backend: Option<SharedBackend>,
     metrics: Metrics,
 ) -> JoinHandle<rdb_crypto::digest::Digest> {
     let lanes = lanes.clamp(1, rdb_store::MAX_LANES);
@@ -387,9 +389,16 @@ pub(crate) fn spawn_executor(
         .spawn(move || {
             if lanes <= 1 {
                 run_sequential_executor(
-                    store, exec_rx, ledger, ckpt_tx, tracker, cfg, queue, metrics,
+                    store, exec_rx, ledger, ckpt_tx, tracker, cfg, queue, backend, metrics,
                 )
             } else {
+                // The deployment builder rejects durable + lane-pool
+                // configs before any thread spawns; this guards direct
+                // callers.
+                assert!(
+                    backend.is_none(),
+                    "durable storage requires the sequential executor (exec_lanes == 1)"
+                );
                 run_lane_pool(
                     node,
                     store,
@@ -419,10 +428,17 @@ fn run_sequential_executor(
     mut tracker: CheckpointTracker,
     cfg: CheckpointConfig,
     queue: QueuePolicy,
+    backend: Option<SharedBackend>,
     metrics: Metrics,
 ) -> Digest {
     let mut checkpointing = cfg.enabled() && ckpt_tx.is_some();
     metrics.set_exec_lanes(1);
+    if backend.is_some() {
+        // Durable mode: capture every table write as an absolute
+        // (key, value, version) image so the decision's WAL batch carries
+        // the exact post-state, not a delta to replay.
+        store.enable_capture();
+    }
     while let Ok(decision) = exec_rx.recv() {
         let t0 = Instant::now();
         let mut ops = 0u64;
@@ -443,11 +459,31 @@ fn run_sequential_executor(
                 }
             }
         }
-        let height = {
+        let (height, new_blocks) = {
             let mut l = ledger.lock();
+            let prev = l.head_height();
             l.append_decision(&decision);
-            l.head_height()
+            let head = l.head_height();
+            // Durable mode: clone the block(s) this decision appended
+            // while still under the lock, so the persisted chain segment
+            // is exactly what the ledger linked.
+            let new_blocks: Vec<rdb_ledger::Block> = if backend.is_some() {
+                (prev + 1..=head)
+                    .map(|h| l.block(h).expect("just appended").clone())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (head, new_blocks)
         };
+        if let Some(be) = &backend {
+            // One decision = one atomic WAL batch: blocks + absolute
+            // table images + applied watermark. A torn tail therefore
+            // truncates to a decision boundary on recovery.
+            let writes = store.take_captured();
+            storage::persist_decision(be, &new_blocks, &writes, height)
+                .expect("durable storage write failed");
+        }
         metrics.lane_batch(0, ops, t0.elapsed());
         metrics.stage_processed(Stage::Execute, t0.elapsed());
         if !checkpointing {
@@ -966,6 +1002,7 @@ pub struct CheckpointReport {
 /// full interval as a grace window so that a peer restarting from *its*
 /// latest stable checkpoint (at most one interval behind ours) still
 /// finds its recovery anchor retained here.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_checkpointer(
     node: NodeId,
     system: SystemConfig,
@@ -973,6 +1010,7 @@ pub(crate) fn spawn_checkpointer(
     ckpt_rx: Receiver<CheckpointMsg>,
     sender: TransportSender,
     ledger: Arc<Mutex<Ledger>>,
+    backend: Option<SharedBackend>,
     metrics: Metrics,
 ) -> JoinHandle<CheckpointReport> {
     std::thread::Builder::new()
@@ -1092,6 +1130,17 @@ pub(crate) fn spawn_checkpointer(
                     };
                     match anchor_hash {
                         Some(hash) => {
+                            if let Some(be) = &backend {
+                                // Durable mode: record the certified
+                                // checkpoint and flush the engine — the
+                                // stable prefix moves into run files and
+                                // the WAL resets. The ledger blocks this
+                                // stability compacts out of memory stay
+                                // archived in the blocks keyspace (the
+                                // executor persisted them at append).
+                                storage::persist_checkpoint(be, front.seq, front.state, hash)
+                                    .expect("durable checkpoint write failed");
+                            }
                             certified.push((front.seq, front.state, hash));
                             unresolved.pop_front();
                         }
@@ -1374,6 +1423,7 @@ mod tests {
             QueuePolicy::block(8),
             1,
             8,
+            None,
             metrics.clone(),
         );
         send_write_decisions(&exec_tx, 5);
@@ -1426,6 +1476,7 @@ mod tests {
             QueuePolicy::block(8),
             1,
             8,
+            None,
             metrics.clone(),
         );
         send_write_decisions(&exec_tx, 5);
@@ -1488,6 +1539,7 @@ mod tests {
             QueuePolicy::block(8),
             lanes,
             window,
+            None,
             metrics.clone(),
         );
         send_write_decisions(&exec_tx, n);
@@ -1608,6 +1660,7 @@ mod tests {
             ckpt_rx,
             sender,
             Arc::clone(&ledger),
+            None,
             metrics.clone(),
         );
 

@@ -61,6 +61,7 @@ use rdb_consensus::registry;
 use rdb_consensus::types::{ClientBatch, SignedBatch, Transaction};
 use rdb_crypto::digest::Digest;
 use rdb_crypto::sign::KeyStore;
+use rdb_storage::StorageBackend;
 use rdb_store::{Operation, TxnEffect};
 use rdb_workload::ycsb::{batch_source, YcsbConfig};
 use std::collections::{HashMap, HashSet};
@@ -547,12 +548,35 @@ pub struct Fabric {
     pub(crate) next_session: AtomicU32,
     pub(crate) crash_threads: Vec<JoinHandle<()>>,
     pub(crate) crashed: Vec<ReplicaId>,
+    pub(crate) backends: Vec<(ReplicaId, crate::storage::SharedBackend)>,
 }
 
 impl Fabric {
     /// The protocol this deployment runs.
     pub fn kind(&self) -> ProtocolKind {
         self.kind
+    }
+
+    /// Reboot a durable deployment from its data directory: read back the
+    /// manifest pinned at first boot and [`crate::DeploymentBuilder::start`]
+    /// an identically-shaped fabric in
+    /// [`crate::StorageMode::Durable`] mode. Every replica whose engine
+    /// directory is initialized recovers its table and ledger from disk —
+    /// the restarted fabric's ledger heads and state digests equal
+    /// whatever the previous incarnation durably committed (protocol
+    /// state machines start fresh; recovered history is served, not
+    /// resumed).
+    pub fn restart_from(path: impl AsRef<std::path::Path>) -> std::io::Result<Fabric> {
+        let root = path.as_ref();
+        let m = crate::storage::read_manifest(root)?;
+        Ok(crate::DeploymentBuilder::new(m.kind, m.z, m.n)
+            .batch_size(m.batch_size)
+            .records(m.records)
+            .seed(m.seed)
+            .check_sigs(m.check_sigs)
+            .checkpoint_interval(m.checkpoint_interval)
+            .storage(crate::StorageMode::Durable(root.to_path_buf()))
+            .start())
     }
 
     /// The deployment shape (clusters, replicas, quorums).
@@ -701,6 +725,14 @@ impl Fabric {
         for t in std::mem::take(&mut self.crash_threads) {
             let _ = t.join();
         }
+        // Durable engines: the executor threads (the WAL writers) are
+        // joined, so seal each engine — flush the memtables to runs and
+        // fold its counters into the metrics for the report.
+        for (_, be) in std::mem::take(&mut self.backends) {
+            let mut be = be.lock();
+            be.flush().expect("flush durable engine at shutdown");
+            self.metrics.storage_merge(&be.stats());
+        }
         self.transport.shutdown();
         stopped
     }
@@ -739,6 +771,7 @@ impl Fabric {
             avg_latency: metrics.avg_latency(),
             p99_latency: metrics.latency_percentile(0.99),
             net: metrics.net_snapshot(),
+            storage: metrics.storage_snapshot(),
             ledgers,
             exec_state_digests,
             checkpoints,

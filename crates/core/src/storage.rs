@@ -1,0 +1,398 @@
+//! Durable-deployment wiring over [`rdb_storage`]: storage modes, the
+//! per-replica engine handle, the on-disk encoding of every keyspace, and
+//! restart recovery.
+//!
+//! ## Crash consistency
+//!
+//! The execution stage persists each applied decision as **one atomic
+//! [`WriteBatch`]** (`persist_decision`): every block the decision
+//! appended, every table record it wrote (as absolute `(key, value,
+//! version)` images, not deltas), and the advanced `applied` watermark.
+//! [`rdb_storage::LogBackend`] appends the whole batch as a single
+//! checksummed WAL record, so a crash torn mid-write truncates to a
+//! *decision boundary* on replay — the recovered table digest equals the
+//! recovered ledger head's `state_digest` by construction, with no replay
+//! or version-bump reasoning required.
+//!
+//! ## Keyspace encodings
+//!
+//! | keyspace      | key                      | value                                  |
+//! |---------------|--------------------------|----------------------------------------|
+//! | `table`       | record key, 8 B BE       | 24 B value ‖ version (8 B LE)          |
+//! | `blocks`      | block height, 8 B BE     | JSON-encoded [`Block`]                 |
+//! | `checkpoints` | stable height, 8 B BE    | state digest (32 B) ‖ anchor hash (32 B) |
+//! | `meta`        | `"init"` / `"applied"` / `"stable"` | marker byte / height (8 B LE) |
+//!
+//! Big-endian keys make the engine's ascending-key scans come back in
+//! height/key order for free. Blocks compacted out of the in-memory ledger
+//! are *retained* in the `blocks` keyspace — archival past the recovery
+//! anchor instead of dropping.
+//!
+//! The deployment parameters needed to reboot an equivalent fabric are
+//! written once to `<root>/manifest.json` ([`Manifest`]);
+//! [`crate::Fabric::restart_from`] reads them back.
+
+use parking_lot::Mutex;
+use rdb_common::ids::ReplicaId;
+use rdb_consensus::config::ProtocolKind;
+use rdb_crypto::digest::Digest;
+use rdb_ledger::{Block, Ledger};
+use rdb_storage::{Keyspace, LogBackend, StorageBackend, WriteBatch};
+use rdb_store::{KvStore, Value};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Where a deployment keeps replica state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Heap-only engines (the default, and what every figure reproduction
+    /// uses): the pre-durability behavior, byte for byte.
+    #[default]
+    Memory,
+    /// Log-structured engines rooted at the given data directory, one
+    /// subdirectory per replica (`replica-<cluster>-<index>`). Requires
+    /// the sequential executor (`exec_lanes == 1`). A directory holding a
+    /// previous run's state is *recovered from*, not reinitialized.
+    Durable(PathBuf),
+}
+
+/// The engine handle one replica's execution and checkpoint stages share.
+///
+/// A concrete `LogBackend` (not a trait object): only durable deployments
+/// allocate one, and both writers funnel through the same mutex so WAL
+/// records interleave at batch granularity.
+pub type SharedBackend = Arc<Mutex<LogBackend>>;
+
+/// Meta-keyspace marker: set once the preload bulk-dump finished, so a
+/// half-initialized directory is re-initialized rather than recovered.
+const META_INIT: &[u8] = b"init";
+/// Meta-keyspace watermark: the highest ledger height applied (and
+/// persisted) by the execution stage.
+const META_APPLIED: &[u8] = b"applied";
+/// Meta-keyspace watermark: the highest quorum-certified (stable) height.
+const META_STABLE: &[u8] = b"stable";
+
+fn invalid(msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Big-endian key encoding shared by the `table`, `blocks` and
+/// `checkpoints` keyspaces: ascending scans come back in numeric order.
+fn be_key(k: u64) -> [u8; 8] {
+    k.to_be_bytes()
+}
+
+fn decode_be_key(raw: &[u8]) -> io::Result<u64> {
+    Ok(u64::from_be_bytes(
+        raw.try_into().map_err(|_| invalid("bad 8-byte key"))?,
+    ))
+}
+
+/// `table` value: the 24-byte record image followed by its version.
+fn encode_table_value(value: Value, version: u64) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    out[..24].copy_from_slice(&value.0);
+    out[24..].copy_from_slice(&version.to_le_bytes());
+    out
+}
+
+fn decode_table_entry(key: &[u8], raw: &[u8]) -> io::Result<(u64, Value, u64)> {
+    let key = decode_be_key(key)?;
+    if raw.len() != 32 {
+        return Err(invalid(format!(
+            "table value has {} bytes, want 32",
+            raw.len()
+        )));
+    }
+    let mut value = [0u8; 24];
+    value.copy_from_slice(&raw[..24]);
+    let version = u64::from_le_bytes(raw[24..].try_into().expect("8 bytes"));
+    Ok((key, Value(value), version))
+}
+
+/// `blocks` value: the JSON encoding of the block (lossless through the
+/// workspace serde stack, including signatures and certificates).
+fn encode_block(block: &Block) -> io::Result<Vec<u8>> {
+    Ok(serde_json::to_string(block).map_err(invalid)?.into_bytes())
+}
+
+fn decode_block(raw: &[u8]) -> io::Result<Block> {
+    let json = std::str::from_utf8(raw).map_err(invalid)?;
+    serde_json::from_str(json).map_err(invalid)
+}
+
+/// `checkpoints` value: certified state digest ‖ anchor block hash.
+fn encode_checkpoint(state: Digest, anchor: Digest) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    out[..32].copy_from_slice(state.as_bytes());
+    out[32..].copy_from_slice(anchor.as_bytes());
+    out
+}
+
+/// Deployment parameters persisted to `<root>/manifest.json` on first
+/// durable boot. [`crate::Fabric::restart_from`] reads this back and
+/// rebuilds an equivalent deployment over the recovered engines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Consensus protocol of the deployment.
+    pub kind: ProtocolKind,
+    /// Number of clusters.
+    pub z: usize,
+    /// Replicas per cluster.
+    pub n: usize,
+    /// Transactions per client batch.
+    pub batch_size: usize,
+    /// Records preloaded into every replica's table on first boot.
+    pub records: u64,
+    /// Deployment seed (keys, workload).
+    pub seed: u64,
+    /// Whether signatures are verified for real.
+    pub check_sigs: bool,
+    /// Checkpoint-stage interval in decisions (0 = disabled).
+    pub checkpoint_interval: u64,
+}
+
+fn manifest_path(root: &Path) -> PathBuf {
+    root.join("manifest.json")
+}
+
+/// Write the manifest on first boot; an existing manifest (a restart) is
+/// left untouched so the original deployment parameters stay authoritative.
+pub(crate) fn write_manifest_if_absent(root: &Path, manifest: &Manifest) -> io::Result<()> {
+    let path = manifest_path(root);
+    if path.exists() {
+        return Ok(());
+    }
+    std::fs::create_dir_all(root)?;
+    std::fs::write(path, serde_json::to_string(manifest).map_err(invalid)?)
+}
+
+/// Read the deployment manifest back from a durable data directory.
+pub fn read_manifest(root: &Path) -> io::Result<Manifest> {
+    let json = std::fs::read_to_string(manifest_path(root))?;
+    serde_json::from_str(&json).map_err(invalid)
+}
+
+/// The engine directory of `rid` under the deployment's data root.
+pub(crate) fn replica_dir(root: &Path, rid: ReplicaId) -> PathBuf {
+    root.join(format!("replica-{}-{}", rid.cluster.0, rid.index))
+}
+
+/// Whether this engine finished a preload bulk-dump (i.e. holds a
+/// recoverable replica rather than an empty or half-initialized one).
+pub(crate) fn is_initialized(backend: &LogBackend) -> bool {
+    backend.get(Keyspace::Meta, META_INIT).is_some()
+}
+
+/// First durable boot: bulk-dump the preloaded table and set the init
+/// marker, all before the replica starts serving. The marker rides the
+/// same atomic batch as the records, so a crash mid-preload leaves the
+/// directory uninitialized and the next boot redoes the dump.
+pub(crate) fn init_replica(backend: &mut LogBackend, store: &KvStore) -> io::Result<()> {
+    let mut batch = WriteBatch::new();
+    for (key, value, version) in store.records() {
+        batch.put(
+            Keyspace::Table,
+            be_key(key),
+            encode_table_value(value, version),
+        );
+    }
+    batch.put(Keyspace::Meta, META_INIT, [1u8]);
+    backend.apply(batch)?;
+    backend.flush()
+}
+
+/// Persist one applied decision as a single atomic batch: the blocks the
+/// executor just appended, the absolute images of the table records it
+/// wrote, and the advanced `applied` watermark. See the module docs for
+/// why this makes torn tails land on decision boundaries.
+pub(crate) fn persist_decision(
+    backend: &SharedBackend,
+    blocks: &[Block],
+    writes: &[(u64, Value, u64)],
+    applied: u64,
+) -> io::Result<()> {
+    let mut batch = WriteBatch::new();
+    for block in blocks {
+        batch.put(Keyspace::Blocks, be_key(block.height), encode_block(block)?);
+    }
+    for &(key, value, version) in writes {
+        batch.put(
+            Keyspace::Table,
+            be_key(key),
+            encode_table_value(value, version),
+        );
+    }
+    batch.put(Keyspace::Meta, META_APPLIED, applied.to_le_bytes());
+    backend.lock().apply(batch)
+}
+
+/// Persist a quorum-certified checkpoint and flush the engine: the stable
+/// prefix's state is forced into run files and the WAL resets, so restart
+/// replay cost stays bounded by the exec-to-stable lag, not run length.
+pub(crate) fn persist_checkpoint(
+    backend: &SharedBackend,
+    height: u64,
+    state: Digest,
+    anchor: Digest,
+) -> io::Result<()> {
+    let mut be = backend.lock();
+    let mut batch = WriteBatch::new();
+    batch.put(
+        Keyspace::Checkpoints,
+        be_key(height),
+        encode_checkpoint(state, anchor),
+    );
+    batch.put(Keyspace::Meta, META_STABLE, height.to_le_bytes());
+    be.apply(batch)?;
+    be.flush()
+}
+
+/// Rebuild a replica's in-memory state from its engine: scan the `table`
+/// keyspace into a fresh store (restoring persisted versions, fingerprint
+/// maintained) and the `blocks` keyspace into a ledger rooted at genesis.
+/// The recovered ledger is uncompacted — every persisted block is
+/// retained, so its head hash and heights are identical to the ledger
+/// that wrote it.
+pub(crate) fn recover_replica(backend: &LogBackend) -> io::Result<(KvStore, Ledger)> {
+    let mut store = KvStore::new();
+    for (key, raw) in backend.scan(Keyspace::Table) {
+        let (k, v, version) = decode_table_entry(&key, &raw)?;
+        store.restore_record(k, v, version);
+    }
+
+    let mut blocks = vec![Block::genesis()];
+    for (key, raw) in backend.scan(Keyspace::Blocks) {
+        let height = decode_be_key(&key)?;
+        let block = decode_block(&raw)?;
+        if block.height != height {
+            return Err(invalid(format!(
+                "block stored at height {height} claims height {}",
+                block.height
+            )));
+        }
+        blocks.push(block);
+    }
+    for (i, block) in blocks.iter().enumerate() {
+        if block.height != i as u64 {
+            return Err(invalid(format!(
+                "persisted blocks not contiguous: index {i} holds height {}",
+                block.height
+            )));
+        }
+    }
+    let ledger = Ledger::from_blocks_unchecked(blocks);
+    ledger
+        .verify(None)
+        .map_err(|e| invalid(format!("recovered ledger invalid: {e}")))?;
+
+    if let Some(raw) = backend.get(Keyspace::Meta, META_APPLIED) {
+        let applied = u64::from_le_bytes(
+            raw.as_slice()
+                .try_into()
+                .map_err(|_| invalid("bad applied watermark"))?,
+        );
+        if applied != ledger.head_height() {
+            return Err(invalid(format!(
+                "applied watermark {applied} != recovered head {}",
+                ledger.head_height()
+            )));
+        }
+    }
+    Ok((store, ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_storage::LogConfig;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rdb-core-storage-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn table_entry_round_trips() {
+        let raw = encode_table_value(Value::from_u64(7), 3);
+        let (k, v, ver) = decode_table_entry(&be_key(42), &raw).unwrap();
+        assert_eq!((k, v, ver), (42, Value::from_u64(7), 3));
+        assert!(decode_table_entry(&be_key(42), &raw[..31]).is_err());
+    }
+
+    #[test]
+    fn block_json_round_trips() {
+        let block = Block::genesis();
+        let raw = encode_block(&block).unwrap();
+        let back = decode_block(&raw).unwrap();
+        assert_eq!(back, block);
+        assert_eq!(back.hash(), block.hash());
+    }
+
+    #[test]
+    fn manifest_written_once_and_read_back() {
+        let dir = tempdir("manifest");
+        let manifest = Manifest {
+            kind: ProtocolKind::Pbft,
+            z: 1,
+            n: 4,
+            batch_size: 5,
+            records: 100,
+            seed: 42,
+            check_sigs: true,
+            checkpoint_interval: 0,
+        };
+        write_manifest_if_absent(&dir, &manifest).unwrap();
+        // A second boot with different parameters must not clobber it.
+        let other = Manifest {
+            seed: 99,
+            ..manifest.clone()
+        };
+        write_manifest_if_absent(&dir, &other).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), manifest);
+    }
+
+    #[test]
+    fn init_then_recover_round_trips_store_and_ledger() {
+        let dir = tempdir("recover");
+        let preload = KvStore::with_ycsb_records(50);
+        let mut backend = LogBackend::open(&dir, LogConfig::default()).unwrap();
+        assert!(!is_initialized(&backend));
+        init_replica(&mut backend, &preload).unwrap();
+        assert!(is_initialized(&backend));
+
+        let shared: SharedBackend = Arc::new(Mutex::new(backend));
+        // Persist one "decision": a block plus an absolute record image.
+        let mut ledger = Ledger::new();
+        ledger.append(
+            rdb_consensus::types::SignedBatch::noop(rdb_common::ids::ClusterId(0), 1),
+            None,
+            Digest::of(b"post"),
+        );
+        let head = ledger.block(1).unwrap().clone();
+        persist_decision(
+            &shared,
+            std::slice::from_ref(&head),
+            &[(7, Value::from_u64(700), 5)],
+            1,
+        )
+        .unwrap();
+
+        let backend = Arc::try_unwrap(shared).ok().unwrap().into_inner();
+        let (store, recovered) = recover_replica(&backend).unwrap();
+        assert_eq!(store.len(), 50);
+        assert_eq!(recovered.head_height(), 1);
+        assert_eq!(recovered.head_hash(), head.hash());
+        let mut expected = KvStore::new();
+        for (k, v, ver) in preload.records().filter(|(k, _, _)| *k != 7) {
+            expected.restore_record(k, v, ver);
+        }
+        expected.restore_record(7, Value::from_u64(700), 5);
+        assert_eq!(store.state_digest(), expected.state_digest());
+    }
+}

@@ -1,0 +1,40 @@
+//! # rdb-storage
+//!
+//! Durable storage engines for the ResilientDB/GeoBFT reproduction.
+//!
+//! The paper positions ResilientDB as a *fabric* for production permissioned
+//! deployments; production fabrics keep their ledger and application state on
+//! disk so a replica can be killed and rebooted without losing its chain
+//! (the companion `rs_node` fabric stores both behind RocksDB column
+//! families). This crate reproduces that shape without an external database
+//! dependency:
+//!
+//! * [`StorageBackend`] — the narrow interface the fabric writes through:
+//!   atomic multi-keyspace batches, point reads, ordered scans, and an
+//!   explicit `flush` durability point.
+//! * [`Keyspace`] — four named keyspaces in the spirit of column families:
+//!   `table` (application records), `blocks` (the ledger chain, including
+//!   blocks compacted out of memory), `checkpoints` (certified checkpoint
+//!   records), and `meta` (replica markers such as the applied height).
+//! * [`MemoryBackend`] — today's behavior, extracted: a heap-only engine
+//!   used by every repro binary so figure bytes are untouched.
+//! * [`LogBackend`] — a log-structured persistent engine over `std::fs`:
+//!   a checksummed write-ahead log with torn-tail truncation on replay, an
+//!   in-memory memtable per keyspace, sorted immutable runs flushed at a
+//!   size threshold, and k-way-merge compaction.
+//!
+//! Every batch appended to the WAL is atomic: replay either observes the
+//! whole batch or (when the tail record is torn) none of it, so a crash can
+//! only lose a *suffix of whole batches* — never leave a keyspace half
+//! written. The fabric exploits this by packing one committed decision
+//! (ledger blocks + table writes + applied-height marker) into one batch,
+//! which makes "recovered state digest matches the recovered ledger head"
+//! true by construction.
+
+pub mod backend;
+pub mod log;
+pub mod run;
+pub mod wal;
+
+pub use backend::{Keyspace, MemoryBackend, StorageBackend, StorageStats, WriteBatch};
+pub use log::{LogBackend, LogConfig};

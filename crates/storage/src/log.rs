@@ -1,0 +1,433 @@
+//! The log-structured persistent engine.
+//!
+//! A [`LogBackend`] owns one directory:
+//!
+//! ```text
+//! <dir>/wal                      the write-ahead log (crate::wal)
+//! <dir>/<keyspace>-<seq>.run     sorted immutable runs (crate::run)
+//! ```
+//!
+//! Writes land in the WAL first (one record per batch, so a batch is
+//! atomic under crash), then in per-keyspace in-memory memtables. When the
+//! memtables exceed [`LogConfig::memtable_bytes`] — or on an explicit
+//! [`flush`](crate::StorageBackend::flush) — each dirty memtable is written
+//! out as a new sorted run and the WAL is reset (everything it protected is
+//! now durable in runs). When a keyspace accumulates
+//! [`LogConfig::compact_runs`] runs they are k-way-merged, newest wins,
+//! into a single base run and the inputs are deleted; tombstones vanish at
+//! the base.
+//!
+//! ## Recovery state machine (at [`LogBackend::open`])
+//!
+//! 1. list `<ks>-<seq>.run` files, validate checksums, load ascending by
+//!    sequence number (older seq = older data);
+//! 2. replay the WAL: every checksummed record re-applies one whole batch
+//!    to the memtables; the first torn/corrupt frame truncates the file;
+//! 3. serve reads newest-first: memtable, then runs from newest to oldest.
+
+use crate::backend::{Keyspace, StorageBackend, StorageStats, WriteBatch, WriteOp};
+use crate::run::{merge_runs, read_run, write_run, Run};
+use crate::wal::Wal;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for [`LogBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogConfig {
+    /// Flush memtables to runs once their resident payload exceeds this
+    /// many bytes (keys + values, summed over keyspaces).
+    pub memtable_bytes: usize,
+    /// Compact a keyspace down to one run once it holds this many runs.
+    pub compact_runs: usize,
+    /// `fsync` after WAL appends and run writes. Off in CI and benches;
+    /// the crash-safety tests model torn writes by truncating files, which
+    /// is independent of fsync.
+    pub fsync: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        Self {
+            memtable_bytes: 1 << 20,
+            compact_runs: 4,
+            fsync: false,
+        }
+    }
+}
+
+/// One keyspace's mutable state: resident writes plus on-disk runs.
+#[derive(Debug, Default)]
+struct Space {
+    /// Resident writes; `None` value = tombstone awaiting flush.
+    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Runs oldest → newest, each paired with its sequence number.
+    runs: Vec<(u64, Run)>,
+}
+
+/// Log-structured persistent engine over `std::fs`.
+#[derive(Debug)]
+pub struct LogBackend {
+    dir: PathBuf,
+    cfg: LogConfig,
+    wal: Wal,
+    spaces: [Space; 4],
+    /// Payload bytes resident in memtables (flush trigger).
+    resident_bytes: usize,
+    /// Next run-file sequence number.
+    next_seq: u64,
+    stats: StorageStats,
+}
+
+impl LogBackend {
+    /// Open (creating if needed) the engine rooted at `dir` and run the
+    /// recovery state machine described at module level.
+    pub fn open(dir: &Path, cfg: LogConfig) -> io::Result<LogBackend> {
+        fs::create_dir_all(dir)?;
+        let mut stats = StorageStats::default();
+
+        // 1. Load runs, ascending by sequence number.
+        let mut loaded: Vec<(u64, Run)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = parse_run_name(name) else {
+                continue;
+            };
+            let run = read_run(&entry.path())?;
+            loaded.push((seq, run));
+        }
+        loaded.sort_by_key(|(seq, _)| *seq);
+        let next_seq = loaded.last().map_or(1, |(seq, _)| seq + 1);
+
+        let mut spaces: [Space; 4] = Default::default();
+        for (seq, run) in loaded {
+            stats.keys_recovered += run.entries.len() as u64;
+            spaces[run.ks.index()].runs.push((seq, run));
+        }
+
+        // 2. Replay the WAL into the memtables (truncating any torn tail).
+        let (wal, replay) = Wal::open(&dir.join("wal"), cfg.fsync)?;
+        stats.wal_truncated_bytes = replay.truncated_bytes;
+        let mut backend = LogBackend {
+            dir: dir.to_path_buf(),
+            cfg,
+            wal,
+            spaces,
+            resident_bytes: 0,
+            next_seq,
+            stats,
+        };
+        for batch in replay.batches {
+            backend.stats.keys_recovered += batch.ops.len() as u64;
+            backend.apply_to_memtables(batch);
+        }
+        Ok(backend)
+    }
+
+    /// Directory this engine persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> LogConfig {
+        self.cfg
+    }
+
+    /// Number of on-disk runs currently serving `ks`.
+    pub fn run_count(&self, ks: Keyspace) -> usize {
+        self.spaces[ks.index()].runs.len()
+    }
+
+    fn apply_to_memtables(&mut self, batch: WriteBatch) {
+        for op in batch.ops {
+            match op {
+                WriteOp::Put { ks, key, value } => {
+                    self.resident_bytes += key.len() + value.len();
+                    self.spaces[ks.index()].memtable.insert(key, Some(value));
+                    self.stats.puts += 1;
+                }
+                WriteOp::Delete { ks, key } => {
+                    self.resident_bytes += key.len();
+                    self.spaces[ks.index()].memtable.insert(key, None);
+                    self.stats.deletes += 1;
+                }
+            }
+        }
+    }
+
+    /// Write every dirty memtable out as a run, then reset the WAL.
+    fn flush_memtables(&mut self) -> io::Result<()> {
+        let mut wrote = false;
+        for ks in Keyspace::ALL {
+            let space = &mut self.spaces[ks.index()];
+            if space.memtable.is_empty() {
+                continue;
+            }
+            let entries: Vec<_> = std::mem::take(&mut space.memtable).into_iter().collect();
+            let run = Run { ks, entries };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let path = self.dir.join(run_name(ks, seq));
+            let bytes = write_run(&path, &run, self.cfg.fsync)?;
+            space.runs.push((seq, run));
+            self.stats.flushes += 1;
+            self.stats.run_bytes += bytes;
+            wrote = true;
+        }
+        if wrote {
+            // Every write the WAL protected now lives in a run; restart the
+            // log so replay cost stays proportional to the unflushed tail.
+            self.wal.reset()?;
+            self.resident_bytes = 0;
+        }
+        for ks in Keyspace::ALL {
+            if self.spaces[ks.index()].runs.len() >= self.cfg.compact_runs {
+                self.compact(ks)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// K-way-merge every run of `ks` into a single base run.
+    fn compact(&mut self, ks: Keyspace) -> io::Result<()> {
+        let space = &mut self.spaces[ks.index()];
+        if space.runs.len() < 2 {
+            return Ok(());
+        }
+        let inputs: Vec<(u64, Run)> = std::mem::take(&mut space.runs);
+        let ordered: Vec<Run> = inputs.iter().map(|(_, r)| r.clone()).collect();
+        // The merged output is the new base: tombstones have nothing older
+        // to shadow, so they are dropped.
+        let entries = merge_runs(&ordered, true);
+        let run = Run { ks, entries };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let path = self.dir.join(run_name(ks, seq));
+        let bytes = write_run(&path, &run, self.cfg.fsync)?;
+        // New run is in place; the inputs are now garbage.
+        for (old_seq, _) in &inputs {
+            let _ = fs::remove_file(self.dir.join(run_name(ks, *old_seq)));
+        }
+        self.spaces[ks.index()].runs = vec![(seq, run)];
+        self.stats.compactions += 1;
+        self.stats.run_bytes += bytes;
+        Ok(())
+    }
+}
+
+impl StorageBackend for LogBackend {
+    fn apply(&mut self, batch: WriteBatch) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let appended = self.wal.append(&batch)?;
+        self.stats.wal_records += 1;
+        self.stats.wal_bytes += appended;
+        self.apply_to_memtables(batch);
+        if self.resident_bytes > self.cfg.memtable_bytes {
+            self.flush_memtables()?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        let space = &self.spaces[ks.index()];
+        if let Some(v) = space.memtable.get(key) {
+            return v.clone();
+        }
+        for (_, run) in space.runs.iter().rev() {
+            if let Some(v) = run.get(key) {
+                return v.map(<[u8]>::to_vec);
+            }
+        }
+        None
+    }
+
+    fn scan(&self, ks: Keyspace) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let space = &self.spaces[ks.index()];
+        // Oldest runs first, memtable last: later inserts overwrite.
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for (_, run) in &space.runs {
+            for (k, v) in &run.entries {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        for (k, v) in &space.memtable {
+            merged.insert(k.clone(), v.clone());
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
+    fn len(&self, ks: Keyspace) -> usize {
+        self.scan(ks).len()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_memtables()
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.stats
+    }
+}
+
+fn run_name(ks: Keyspace, seq: u64) -> String {
+    format!("{}-{seq:08}.run", ks.name())
+}
+
+/// Parse `<ks>-<seq>.run`; `None` for any other file (e.g. `wal`, `.tmp`).
+fn parse_run_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(".run")?;
+    let (ks_name, seq) = stem.rsplit_once('-')?;
+    if !Keyspace::ALL.iter().any(|ks| ks.name() == ks_name) {
+        return None;
+    }
+    seq.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rdb-log-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn put(b: &mut LogBackend, ks: Keyspace, k: u64, v: &[u8]) {
+        let mut batch = WriteBatch::new();
+        batch.put(ks, k.to_be_bytes(), v);
+        b.apply(batch).unwrap();
+    }
+
+    #[test]
+    fn survives_close_and_reopen() {
+        let dir = tmp("reopen");
+        let mut b = LogBackend::open(&dir, LogConfig::default()).unwrap();
+        for k in 0..50u64 {
+            put(&mut b, Keyspace::Table, k, &[k as u8; 24]);
+        }
+        put(&mut b, Keyspace::Meta, 0, b"applied");
+        b.flush().unwrap();
+        for k in 50..80u64 {
+            // These stay in the WAL (memtable under threshold, no flush).
+            put(&mut b, Keyspace::Table, k, &[k as u8; 24]);
+        }
+        drop(b);
+
+        let b = LogBackend::open(&dir, LogConfig::default()).unwrap();
+        for k in 0..80u64 {
+            assert_eq!(
+                b.get(Keyspace::Table, &k.to_be_bytes()),
+                Some(vec![k as u8; 24]),
+                "key {k}"
+            );
+        }
+        assert_eq!(
+            b.get(Keyspace::Meta, &0u64.to_be_bytes()),
+            Some(b"applied".to_vec())
+        );
+        assert_eq!(b.len(Keyspace::Table), 80);
+        assert!(b.stats().keys_recovered > 0);
+    }
+
+    #[test]
+    fn memtable_threshold_triggers_flush_and_compaction() {
+        let dir = tmp("compact");
+        let cfg = LogConfig {
+            memtable_bytes: 256,
+            compact_runs: 3,
+            fsync: false,
+        };
+        let mut b = LogBackend::open(&dir, cfg).unwrap();
+        for k in 0..200u64 {
+            put(&mut b, Keyspace::Table, k % 40, &k.to_le_bytes());
+        }
+        let stats = b.stats();
+        assert!(stats.flushes > 0, "expected flushes, got {stats:?}");
+        assert!(stats.compactions > 0, "expected compactions, got {stats:?}");
+        // Compaction keeps reads identical: every key shows its last write.
+        for k in 0..40u64 {
+            let last = (0..200u64).rev().find(|x| x % 40 == k).unwrap();
+            assert_eq!(
+                b.get(Keyspace::Table, &k.to_be_bytes()),
+                Some(last.to_le_bytes().to_vec())
+            );
+        }
+        assert_eq!(b.len(Keyspace::Table), 40);
+
+        // And the compacted directory still reopens to the same state.
+        drop(b);
+        let b = LogBackend::open(&dir, cfg).unwrap();
+        assert_eq!(b.len(Keyspace::Table), 40);
+    }
+
+    #[test]
+    fn deletes_survive_flush_compaction_and_reopen() {
+        let dir = tmp("deletes");
+        let cfg = LogConfig {
+            memtable_bytes: 128,
+            compact_runs: 2,
+            fsync: false,
+        };
+        let mut b = LogBackend::open(&dir, cfg).unwrap();
+        for k in 0..20u64 {
+            put(&mut b, Keyspace::Table, k, b"live");
+        }
+        b.flush().unwrap();
+        for k in 0..20u64 {
+            if k.is_multiple_of(2) {
+                let mut batch = WriteBatch::new();
+                batch.delete(Keyspace::Table, k.to_be_bytes());
+                b.apply(batch).unwrap();
+            }
+        }
+        b.flush().unwrap();
+        drop(b);
+
+        let b = LogBackend::open(&dir, cfg).unwrap();
+        for k in 0..20u64 {
+            let got = b.get(Keyspace::Table, &k.to_be_bytes());
+            if k.is_multiple_of(2) {
+                assert_eq!(got, None, "key {k} should be deleted");
+            } else {
+                assert_eq!(got, Some(b"live".to_vec()), "key {k} should live");
+            }
+        }
+        assert_eq!(b.len(Keyspace::Table), 10);
+    }
+
+    #[test]
+    fn scan_merges_runs_and_memtable_in_key_order() {
+        let dir = tmp("scan");
+        let mut b = LogBackend::open(&dir, LogConfig::default()).unwrap();
+        put(&mut b, Keyspace::Blocks, 2, b"two");
+        b.flush().unwrap();
+        put(&mut b, Keyspace::Blocks, 1, b"one");
+        put(&mut b, Keyspace::Blocks, 2, b"TWO");
+        let scan = b.scan(Keyspace::Blocks);
+        assert_eq!(
+            scan,
+            vec![
+                (1u64.to_be_bytes().to_vec(), b"one".to_vec()),
+                (2u64.to_be_bytes().to_vec(), b"TWO".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_batches_write_nothing() {
+        let dir = tmp("empty");
+        let mut b = LogBackend::open(&dir, LogConfig::default()).unwrap();
+        b.apply(WriteBatch::new()).unwrap();
+        assert_eq!(b.stats().wal_records, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Sorted immutable run files ("SSTables") and their k-way merge.
+//!
+//! ## File format
+//!
+//! ```text
+//! header:  "RDBRUN01" [ks: u8] [count: u32 LE]              (13 bytes)
+//! entry:   [kind: u8] [key_len: u32 LE] [key] [val_len: u32 LE] [val]
+//! footer:  [check: 8 bytes]
+//! ```
+//!
+//! Entries are ascending by key; `kind` 1 marks a tombstone (no value
+//! fields). `check` is the first 8 bytes of SHA-256 over everything after
+//! the magic. Runs are written to a `.tmp` sibling and renamed into place,
+//! so a run file either exists whole or not at all — crash atomicity for
+//! flushes comes from the filesystem rename, not from replay logic.
+
+use crate::backend::Keyspace;
+use rdb_crypto::sha256::sha256;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Magic bytes opening every run file.
+pub const RUN_MAGIC: &[u8; 8] = b"RDBRUN01";
+
+/// A run resident in memory: sorted entries, `None` value = tombstone.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Keyspace the run belongs to.
+    pub ks: Keyspace,
+    /// Entries ascending by key; `None` marks a deletion.
+    pub entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+impl Run {
+    /// Binary-search the run. `None` = key absent; `Some(None)` = tombstone.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1.as_deref())
+    }
+}
+
+/// Serialize `run` and atomically install it at `path` (`.tmp` + rename).
+/// Returns the bytes written.
+pub fn write_run(path: &Path, run: &Run, fsync: bool) -> io::Result<u64> {
+    debug_assert!(run.entries.windows(2).all(|w| w[0].0 < w[1].0));
+    let mut body = Vec::new();
+    body.push(run.ks as u8);
+    body.extend_from_slice(&(run.entries.len() as u32).to_le_bytes());
+    for (key, value) in &run.entries {
+        match value {
+            Some(v) => {
+                body.push(0);
+                body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                body.extend_from_slice(key);
+                body.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                body.extend_from_slice(v);
+            }
+            None => {
+                body.push(1);
+                body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                body.extend_from_slice(key);
+            }
+        }
+    }
+
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(RUN_MAGIC)?;
+    file.write_all(&body)?;
+    file.write_all(&sha256(&body)[..8])?;
+    if fsync {
+        file.sync_data()?;
+    }
+    drop(file);
+    fs::rename(&tmp, path)?;
+    Ok((RUN_MAGIC.len() + body.len() + 8) as u64)
+}
+
+/// Load and validate the run at `path`.
+pub fn read_run(path: &Path) -> io::Result<Run> {
+    let bytes = fs::read(path)?;
+    let bad = |msg: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {msg}", path.display()),
+        )
+    };
+    if bytes.len() < RUN_MAGIC.len() + 8 || &bytes[..RUN_MAGIC.len()] != RUN_MAGIC {
+        return Err(bad("bad run magic"));
+    }
+    let body = &bytes[RUN_MAGIC.len()..bytes.len() - 8];
+    let check = &bytes[bytes.len() - 8..];
+    if sha256(body)[..8] != *check {
+        return Err(bad("run checksum mismatch"));
+    }
+
+    let mut pos = 0usize;
+    let ks = Keyspace::from_tag(*body.first().ok_or_else(|| bad("empty body"))?)
+        .ok_or_else(|| bad("bad keyspace tag"))?;
+    pos += 1;
+    let count = u32::from_le_bytes(
+        body.get(pos..pos + 4)
+            .ok_or_else(|| bad("short body"))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    pos += 4;
+
+    let mut take = |n: usize| -> io::Result<&[u8]> {
+        let s = body
+            .get(pos..pos + n)
+            .ok_or_else(|| bad("entry out of bounds"))?;
+        pos += n;
+        Ok(s)
+    };
+
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let kind = take(1)?[0];
+        let key_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let key = take(key_len)?.to_vec();
+        let value = match kind {
+            0 => {
+                let val_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                Some(take(val_len)?.to_vec())
+            }
+            1 => None,
+            _ => return Err(bad("bad entry kind")),
+        };
+        entries.push((key, value));
+    }
+    if pos != body.len() {
+        return Err(bad("trailing bytes"));
+    }
+    if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(bad("entries out of order"));
+    }
+    Ok(Run { ks, entries })
+}
+
+/// K-way merge of `runs` ordered oldest → newest; for a key present in
+/// several runs the *newest* entry wins. When `drop_tombstones` is set
+/// (compacting down to a single base run) deletions are elided entirely.
+pub fn merge_runs(runs: &[Run], drop_tombstones: bool) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+    let mut heads = vec![0usize; runs.len()];
+    let mut out = Vec::new();
+    loop {
+        // Smallest key among the current heads.
+        let mut min: Option<&[u8]> = None;
+        for (r, &h) in runs.iter().zip(&heads) {
+            if let Some((k, _)) = r.entries.get(h) {
+                if min.is_none_or(|m| k.as_slice() < m) {
+                    min = Some(k);
+                }
+            }
+        }
+        let Some(key) = min.map(<[u8]>::to_vec) else {
+            break;
+        };
+        // Advance every run sitting on that key; the last (newest) wins.
+        let mut winner: Option<Option<Vec<u8>>> = None;
+        for (r, h) in runs.iter().zip(heads.iter_mut()) {
+            if let Some((k, v)) = r.entries.get(*h) {
+                if k == &key {
+                    winner = Some(v.clone());
+                    *h += 1;
+                }
+            }
+        }
+        let value = winner.expect("some run held the minimum key");
+        if value.is_some() || !drop_tombstones {
+            out.push((key, value));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(ks: Keyspace, entries: &[(&[u8], Option<&[u8]>)]) -> Run {
+        Run {
+            ks,
+            entries: entries
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn run_file_round_trips() {
+        let dir = std::env::temp_dir().join(format!("rdb-run-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table-00000001.run");
+
+        let r = run(
+            Keyspace::Table,
+            &[
+                (b"a", Some(b"1")),
+                (b"b", None),
+                (b"c", Some(b"3333333333")),
+            ],
+        );
+        write_run(&path, &r, false).unwrap();
+        let back = read_run(&path).unwrap();
+        assert_eq!(back.ks, Keyspace::Table);
+        assert_eq!(back.entries, r.entries);
+        assert_eq!(back.get(b"a"), Some(Some(b"1".as_slice())));
+        assert_eq!(back.get(b"b"), Some(None));
+        assert_eq!(back.get(b"z"), None);
+
+        // Corrupt one byte: the checksum refuses the file.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_run(&path).is_err());
+    }
+
+    #[test]
+    fn merge_newest_wins_and_drops_tombstones() {
+        let old = run(
+            Keyspace::Table,
+            &[
+                (b"a", Some(b"old")),
+                (b"b", Some(b"old")),
+                (b"d", Some(b"old")),
+            ],
+        );
+        let new = run(
+            Keyspace::Table,
+            &[(b"a", Some(b"new")), (b"b", None), (b"c", Some(b"new"))],
+        );
+
+        let kept = merge_runs(&[old.clone(), new.clone()], false);
+        assert_eq!(
+            kept,
+            vec![
+                (b"a".to_vec(), Some(b"new".to_vec())),
+                (b"b".to_vec(), None),
+                (b"c".to_vec(), Some(b"new".to_vec())),
+                (b"d".to_vec(), Some(b"old".to_vec())),
+            ]
+        );
+
+        let compacted = merge_runs(&[old, new], true);
+        assert!(compacted.iter().all(|(_, v)| v.is_some()));
+        assert_eq!(compacted.len(), 3);
+    }
+}

@@ -146,6 +146,10 @@ pub struct KvStore {
     stats: StoreStats,
     /// Number of transactions applied (batch items), used for checkpoints.
     applied_txns: u64,
+    /// When present, every record write is appended here as
+    /// `(key, value, new_version)` — the durable-storage hook: the executor
+    /// drains this buffer into one WAL batch per committed decision.
+    captured: Option<Vec<(u64, Value, u64)>>,
 }
 
 impl KvStore {
@@ -156,6 +160,7 @@ impl KvStore {
             len: 0,
             stats: StoreStats::default(),
             applied_txns: 0,
+            captured: None,
         }
     }
 
@@ -201,8 +206,9 @@ impl KvStore {
 
     fn insert_inner(&mut self, key: u64, value: Value, fingerprint: bool) {
         let shard = &mut self.shards[shard_of(key)];
+        let new_ver;
         if let Some((old_v, old_ver)) = shard.records.get(&key).copied() {
-            let new_ver = old_ver + 1;
+            new_ver = old_ver + 1;
             if fingerprint {
                 let old_d = Self::record_digest(key, &old_v, old_ver);
                 xor_into(&mut shard.accum, &old_d);
@@ -213,6 +219,7 @@ impl KvStore {
             }
             shard.records.insert(key, (value, new_ver));
         } else {
+            new_ver = 1;
             if fingerprint {
                 let new_d = Self::record_digest(key, &value, 1);
                 xor_into(&mut shard.accum, &new_d);
@@ -222,6 +229,48 @@ impl KvStore {
             shard.records.insert(key, (value, 1));
             self.len += 1;
         }
+        if let Some(buf) = &mut self.captured {
+            buf.push((key, value, new_ver));
+        }
+    }
+
+    /// Start recording every record write (key, value, new version) for
+    /// durable logging; see [`KvStore::take_captured`]. Idempotent.
+    pub fn enable_capture(&mut self) {
+        if self.captured.is_none() {
+            self.captured = Some(Vec::new());
+        }
+    }
+
+    /// Whether write capture is active.
+    pub fn capturing(&self) -> bool {
+        self.captured.is_some()
+    }
+
+    /// Drain the writes captured since the last call (capture stays
+    /// enabled). Overwrites of the same key appear once per write, in
+    /// application order, so replaying the *last* entry per key restores
+    /// the record exactly — value and version.
+    pub fn take_captured(&mut self) -> Vec<(u64, Value, u64)> {
+        self.captured
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Install a record recovered from durable storage at its persisted
+    /// version, maintaining the fingerprint. The key must not already be
+    /// present: recovery always starts from an empty table.
+    pub fn restore_record(&mut self, key: u64, value: Value, version: u64) {
+        self.seed_record(key, value, version);
+    }
+
+    /// Every record as `(key, value, version)`, in unspecified order (the
+    /// durable bulk-dump path; the storage engine sorts by key itself).
+    pub fn records(&self) -> impl Iterator<Item = (u64, Value, u64)> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.records.iter().map(|(k, (v, ver))| (*k, *v, *ver)))
     }
 
     /// Number of records currently stored.

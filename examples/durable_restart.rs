@@ -1,0 +1,88 @@
+//! Durable storage end to end: boot a fabric with log-structured engines
+//! under every replica, commit SmallBank transfers, shut the whole thing
+//! down — then restart *from the data directory alone* and show that
+//! every replica comes back with a byte-identical ledger head and table
+//! digest, still serving the committed balances.
+//!
+//! ```bash
+//! cargo run --release --example durable_restart
+//! ```
+
+use rdb_common::ids::ClusterId;
+use rdb_consensus::config::ProtocolKind;
+use rdb_store::{ExecOutcome, Operation, TxnOutcome, TxnProgram};
+use resilientdb::{DeploymentBuilder, Fabric, StorageMode};
+use std::path::PathBuf;
+
+fn main() {
+    // Scratch data directory under the gitignored target/tmp.
+    let data = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("tmp")
+        .join(format!("durable-restart-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data);
+
+    println!("SmallBank on durable PBFT, 1 cluster x 4 replicas");
+    println!("data directory: {}\n", data.display());
+
+    // First incarnation: every replica opens a log-structured engine
+    // under the data dir; the execute thread WAL-logs each decision.
+    let fabric = DeploymentBuilder::new(ProtocolKind::Pbft, 1, 4)
+        .batch_size(5)
+        .records(500)
+        .storage(StorageMode::Durable(data.clone()))
+        .start();
+    let session = fabric.session(ClusterId(0));
+    for (from, to, amount) in [(400u64, 7u64, 50u64), (300, 8, 25), (200, 9, 10)] {
+        let proof = session
+            .submit_one(Operation::Txn(TxnProgram::transfer(from, to, amount)))
+            .wait();
+        assert!(matches!(
+            proof.results.outcomes[0],
+            ExecOutcome::Txn(TxnOutcome::Committed { .. })
+        ));
+        println!(
+            "transfer {from:>3} -> {to} of {amount:>2}: committed at block {}",
+            proof.block_height
+        );
+    }
+    drop(session);
+    let before = fabric.shutdown();
+    println!("\nshutdown: {}", before.summary());
+
+    // Second incarnation: nothing but the data directory. The manifest
+    // pins the deployment shape; every replica recovers table + ledger.
+    let rebooted = Fabric::restart_from(&data).expect("restart from data dir");
+    let session = rebooted.session(ClusterId(0));
+
+    // Account 7 was preloaded with 7 and received 50: a quorum read of
+    // the recovered state must see 57.
+    let proof = session.submit_one(Operation::Read { key: 7 }).wait();
+    let ExecOutcome::ReadValue(Some(balance)) = proof.results.outcomes[0] else {
+        panic!("account 7 must exist after restart");
+    };
+    println!("\nrestarted: account 7 balance reads {}", balance.counter());
+    assert_eq!(balance.counter(), 57, "7 preloaded + 50 transferred");
+
+    drop(session);
+    let after = rebooted.shutdown();
+    for (rid, ledger) in &before.ledgers {
+        let recovered = &after.ledgers[rid];
+        assert!(
+            recovered.head_height() >= ledger.head_height(),
+            "replica {rid}: recovered chain lost blocks"
+        );
+        assert_eq!(
+            recovered.block(ledger.head_height()).expect("head").hash(),
+            ledger.head_hash(),
+            "replica {rid}: recovered head differs from what was committed"
+        );
+    }
+    println!(
+        "every replica recovered its committed ledger head byte-identically \
+         ({} keys scanned from disk)",
+        after.storage.stats.keys_recovered
+    );
+
+    let _ = std::fs::remove_dir_all(&data);
+}

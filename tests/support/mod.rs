@@ -1,0 +1,44 @@
+//! Shared support for the umbrella integration suites.
+//!
+//! Durable-storage tests and examples need scratch directories that (a)
+//! land under the gitignored `target/tmp/`, never in the source tree, and
+//! (b) are removed when the test finishes, pass or fail. [`TempDir`] is
+//! that RAII guard; every suite that touches disk goes through it.
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory under `target/tmp`, unique per call (tag, process
+/// and a monotonic counter), removed on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `target/tmp/<tag>-<pid>-<n>/` (and parents) fresh.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("target")
+            .join("tmp")
+            .join(format!("{tag}-{}-{n}", std::process::id()));
+        // A stale dir from a killed previous run must not leak state in.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
